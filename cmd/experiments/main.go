@@ -1,0 +1,58 @@
+// Command experiments regenerates the tables and figures of the
+// paper's evaluation (§6). Each experiment prints the same rows or
+// series the paper reports; EXPERIMENTS.md records the comparison.
+//
+// Usage:
+//
+//	experiments -exp fig4                 # one experiment
+//	experiments -exp all                  # everything (slow)
+//	experiments -exp fig5 -workloads db   # restrict the benchmark set
+//	experiments -exp fig2 -reps 1         # fewer repetitions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hpmvm/internal/bench"
+	_ "hpmvm/internal/bench/workloads"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(bench.ExperimentNames, ", ")+", or all")
+	workloads := flag.String("workloads", "", "comma-separated workload filter (default: all)")
+	reps := flag.Int("reps", 3, "repetitions for timing experiments")
+	seed := flag.Int64("seed", 1, "base PRNG seed")
+	list := flag.Bool("list", false, "list registered workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range bench.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	opt := bench.ExpOptions{Reps: *reps, Seed: *seed}
+	if *workloads != "" {
+		opt.Workloads = strings.Split(*workloads, ",")
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = bench.ExperimentNames
+	}
+	for _, name := range names {
+		start := time.Now()
+		out, err := bench.RunExperiment(name, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,168 @@
+// Command hpmvm runs one benchmark program on the simulated
+// platform under a chosen configuration and reports execution
+// statistics — the quickest way to poke at the system.
+//
+// Usage:
+//
+//	hpmvm -workload db
+//	hpmvm -workload db -coalloc -interval 0 -heap 4.0
+//	hpmvm -workload hsqldb -collector gencopy -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpmvm/internal/bench"
+	_ "hpmvm/internal/bench/workloads"
+	"hpmvm/internal/core"
+	"hpmvm/internal/hw/cpu"
+	"hpmvm/internal/vm/bytecode"
+)
+
+func main() {
+	workload := flag.String("workload", "db", "workload name (see -list)")
+	list := flag.Bool("list", false, "list workloads and exit")
+	heapf := flag.Float64("heap", 4.0, "heap size as a multiple of the workload's min heap")
+	heapBytes := flag.Uint64("heap-bytes", 0, "explicit heap size in bytes (overrides -heap)")
+	collector := flag.String("collector", "genms", "collector: genms or gencopy")
+	monitoring := flag.Bool("monitor", false, "enable HPM sampling")
+	interval := flag.Uint64("interval", 0, "sampling interval in events (0 = auto)")
+	coalloc := flag.Bool("coalloc", false, "enable HPM-guided co-allocation (implies -monitor)")
+	gap := flag.Uint64("gap", 0, "pathological placement gap in bytes (Figure 8)")
+	adaptive := flag.Bool("adaptive", false, "AOS recording mode instead of the all-opt plan")
+	seed := flag.Int64("seed", 1, "PRNG seed")
+	verbose := flag.Bool("v", false, "print monitor and GC detail")
+	disasm := flag.String("disasm", "", "disassemble a method (\"Class::name\") instead of running")
+	flag.Parse()
+
+	if *list {
+		for _, n := range bench.Names() {
+			b, _ := bench.Get(n)
+			fmt.Printf("%-11s %s\n", n, b().Description)
+		}
+		return
+	}
+
+	builder, ok := bench.Get(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hpmvm: unknown workload %q (try -list)\n", *workload)
+		os.Exit(1)
+	}
+	cfg := bench.RunConfig{
+		HeapFactor: *heapf,
+		Heap:       *heapBytes,
+		Monitoring: *monitoring || *coalloc,
+		Interval:   *interval,
+		Coalloc:    *coalloc,
+		Gap:        *gap,
+		Adaptive:   *adaptive,
+		Seed:       *seed,
+	}
+	if *collector == "gencopy" {
+		cfg.Collector = core.GenCopy
+	}
+	if *disasm != "" {
+		if err := disassemble(builder, *disasm); err != nil {
+			fmt.Fprintf(os.Stderr, "hpmvm: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	res, sys, err := bench.Run(builder, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpmvm: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload    %s (heap %d bytes, %s)\n", res.Program, res.HeapBytes, sys.VM.Collector.Name())
+	fmt.Printf("results     %v\n", res.Results)
+	fmt.Printf("cycles      %d\n", res.Cycles)
+	fmt.Printf("instret     %d\n", res.Instret)
+	fmt.Printf("CPI         %.2f\n", float64(res.Cycles)/float64(res.Instret))
+	fmt.Printf("L1 misses   %d (%.3f/kinstr)\n", res.Cache.L1Misses, 1000*float64(res.Cache.L1Misses)/float64(res.Instret))
+	fmt.Printf("L2 misses   %d\n", res.Cache.L2Misses)
+	fmt.Printf("DTLB misses %d\n", res.Cache.TLBMisses)
+	fmt.Printf("GC          %d minor, %d major (%d cycles)\n", res.MinorGCs, res.MajorGCs, res.GCCycles)
+	if cfg.Coalloc {
+		fmt.Printf("coalloc     %d pairs (fragmentation %.1f%%)\n", res.CoallocPairs, 100*res.Fragmentation)
+	}
+	if cfg.Monitoring {
+		ms := res.MonitorStats
+		fmt.Printf("monitor     %d polls, %d samples (%d dropped), %d cycles\n",
+			ms.Polls, ms.SamplesDecoded, ms.SamplesDropped, ms.MonitorCycles)
+	}
+	if *verbose {
+		if sys.Monitor != nil {
+			fmt.Println()
+			fmt.Print(sys.Monitor.Report(10))
+			for _, e := range sys.Monitor.PhaseEvents() {
+				fmt.Printf("  %s\n", e)
+			}
+		}
+		if sys.Policy != nil {
+			fmt.Println("policy decisions:")
+			for _, d := range sys.Policy.Decisions() {
+				fmt.Printf("  %-24s %-9s pairs=%d reverts=%d\n", d.Field.QualifiedName(), d.Mode, d.Pairs, d.Reverts)
+			}
+			for _, e := range sys.Policy.Events() {
+				fmt.Printf("  %s\n", e)
+			}
+		}
+		if sys.AOS != nil {
+			fmt.Print(sys.AOS.Report(10))
+		}
+	}
+}
+
+// disassemble boots the workload, compiles it with the default plan,
+// and prints the bytecode and annotated machine code of one method.
+func disassemble(builder bench.Builder, name string) error {
+	prog := builder()
+	sys := core.NewSystem(prog.U, core.Options{Seed: 1})
+	if err := sys.Boot(bench.AllOptPlan(prog.U, 2), prog.Materialize); err != nil {
+		return err
+	}
+	for _, m := range prog.U.Methods() {
+		if m.QualifiedName() != name || m.Code == nil {
+			continue
+		}
+		code := m.Code.(*bytecode.Code)
+		fmt.Print(code.Disassemble())
+		fmt.Println()
+		for _, body := range sys.VM.Table.Bodies() {
+			if body.Method != m || body.Obsolete {
+				continue
+			}
+			kind := "baseline"
+			if body.Opt {
+				kind = "opt"
+			}
+			fmt.Printf("%s body [%#x,%#x), %d GC points, frame %d slots:\n",
+				kind, body.Start, body.End, len(body.GCPoints), body.FrameSlots)
+			for pc := body.Start; pc < body.End; pc += cpu.InstrBytes {
+				in, _ := sys.VM.CPU.InstrAt(pc)
+				bci := "      "
+				if b, ok := body.BytecodeAt(pc); ok {
+					bci = fmt.Sprintf("bci%3d", b)
+				}
+				gcMark := " "
+				if gp := body.GCPointAt(pc); gp != nil {
+					gcMark = "*"
+				}
+				fmt.Printf("  %#x %s %s %s\n", pc, bci, gcMark, in)
+			}
+		}
+		return nil
+	}
+	// List candidates on miss.
+	fmt.Fprintln(os.Stderr, "methods:")
+	for _, m := range prog.U.Methods() {
+		if m.Code != nil {
+			fmt.Fprintf(os.Stderr, "  %s\n", m.QualifiedName())
+		}
+	}
+	return fmt.Errorf("method %q not found", name)
+}

@@ -1,0 +1,13 @@
+// Package hpmvm reproduces "Online Optimizations Driven by Hardware
+// Performance Monitoring" (Schneider, Payer, Gross; PLDI 2007) as a
+// self-contained Go library: a simulated Pentium 4 with precise
+// event-based sampling, a Java-like VM with two JIT compilers and
+// machine-code maps, generational garbage collectors, and the
+// HPM-guided object co-allocation optimization with its online
+// feedback loop.
+//
+// See README.md for an overview, DESIGN.md for the architecture and
+// substitution rationale, and EXPERIMENTS.md for reproduced results.
+// The public entry point is internal/core.System; cmd/hpmvm and
+// cmd/experiments are the command-line frontends.
+package hpmvm

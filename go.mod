@@ -1,0 +1,3 @@
+module hpmvm
+
+go 1.22

@@ -1,0 +1,296 @@
+// Package bench provides the benchmark harness: a registry of workload
+// programs (synthetic analogues of the paper's SPECjvm98, DaCapo and
+// pseudojbb benchmarks, Table 1), a runner that executes a program
+// under a configuration (collector, heap size, sampling interval,
+// co-allocation) and collects the metrics every figure of §6 is built
+// from, and helpers for heap-size sweeps and repeated runs.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"hpmvm/internal/coalloc"
+	"hpmvm/internal/core"
+	"hpmvm/internal/hw/cache"
+	"hpmvm/internal/monitor"
+	"hpmvm/internal/stats"
+	"hpmvm/internal/vm/classfile"
+	"hpmvm/internal/vm/mcmap"
+	"hpmvm/internal/vm/runtime"
+)
+
+// Program is one runnable workload.
+type Program struct {
+	Name        string
+	Description string
+
+	U     *classfile.Universe
+	Entry *classfile.Method
+
+	// Materialize creates the program's immortal constant objects and
+	// resolves bytecode reference constants. May be nil.
+	Materialize func(vm *runtime.VM)
+
+	// MinHeap is the calibrated minimum heap (bytes) the program
+	// completes in under GenMS; heap-size sweeps are expressed as
+	// multiples of it (1x–4x, §6.3).
+	MinHeap uint64
+
+	// Expected, when non-nil, is the exact result log the program must
+	// produce (programs are deterministic); the runner verifies it.
+	Expected []int64
+
+	// HotFieldName names the field the paper's time-series figures
+	// track for this program (db: "String::value"), or "".
+	HotFieldName string
+}
+
+// Builder constructs a fresh Program (a fresh universe per run, since
+// compiled code and addresses are per-VM).
+type Builder func() *Program
+
+var registry = map[string]Builder{}
+var order []string
+
+// Register adds a workload builder under a unique name.
+func Register(name string, b Builder) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("bench: duplicate workload %q", name))
+	}
+	registry[name] = b
+	order = append(order, name)
+}
+
+// Get returns the builder for name.
+func Get(name string) (Builder, bool) {
+	b, ok := registry[name]
+	return b, ok
+}
+
+// Names returns all registered workload names in registration order.
+func Names() []string { return append([]string(nil), order...) }
+
+// NamesSorted returns all registered workload names sorted.
+func NamesSorted() []string {
+	ns := Names()
+	sort.Strings(ns)
+	return ns
+}
+
+// AllOptPlan builds the pseudo-adaptive compilation plan that
+// opt-compiles every method with bytecode at the given level (§6.1:
+// each program runs with a pre-generated compilation plan so the same
+// methods are optimized in every configuration).
+func AllOptPlan(u *classfile.Universe, level int) runtime.CompilePlan {
+	plan := make(runtime.CompilePlan)
+	for _, m := range u.Methods() {
+		if m.Code != nil {
+			plan[m.ID] = level
+		}
+	}
+	return plan
+}
+
+// RunConfig selects an execution configuration.
+type RunConfig struct {
+	// Heap is the heap budget in bytes; 0 means 4x the program's
+	// MinHeap (the paper's large-heap setting).
+	Heap uint64
+	// HeapFactor, when non-zero and Heap is 0, sets Heap to
+	// HeapFactor × MinHeap.
+	HeapFactor float64
+
+	Collector core.CollectorKind
+
+	// Monitoring enables event sampling; Interval is the hardware
+	// sampling interval in events (0 = auto). Event defaults to L1
+	// misses.
+	Monitoring bool
+	Interval   uint64
+	Event      cache.EventKind
+
+	// Coalloc enables HPM-guided co-allocation (implies Monitoring).
+	Coalloc bool
+
+	// Gap, when non-zero, applies Gap padding bytes between every
+	// co-allocated parent and child from the start (ablation).
+	Gap uint64
+	// GapAtCycle, when non-zero, forces the Figure 8 manual
+	// intervention: from that cycle on, new pairs get one cache line
+	// of padding until the feedback loop reverts the decision.
+	GapAtCycle uint64
+	// DisableRevert turns the online revert heuristic off.
+	DisableRevert bool
+	// Ranked enables the full per-class co-allocation candidate list
+	// (§5.4) with fallback past ineligible children.
+	Ranked bool
+
+	// Plan overrides the default all-opt compilation plan.
+	Plan runtime.CompilePlan
+	// OptLevel is the level used by the default plan (default 2).
+	OptLevel int
+	// Adaptive enables AOS recording mode (baseline compile + timer
+	// sampling + recompilation).
+	Adaptive bool
+
+	Seed        int64
+	MaxCycles   uint64
+	TrackFields []string
+
+	// MonitorConfig optionally overrides the collector-thread tuning.
+	MonitorConfig *monitor.Config
+}
+
+// Result carries every metric the experiments report.
+type Result struct {
+	Program   string
+	Config    RunConfig
+	HeapBytes uint64
+
+	Cycles  uint64
+	Instret uint64
+
+	Cache cache.Stats
+
+	MinorGCs      uint64
+	MajorGCs      uint64
+	CoallocPairs  uint64
+	GCCycles      uint64
+	Fragmentation float64
+
+	MonitorStats monitor.Stats
+	SamplesTaken uint64
+	Space        mcmap.SpaceStats
+
+	Results []int64
+}
+
+// Run executes one program under one configuration and returns the
+// metrics plus the live System for deeper inspection (time series,
+// policy decisions).
+func Run(b Builder, cfg RunConfig) (*Result, *core.System, error) {
+	prog := b()
+	heapBytes := cfg.Heap
+	if heapBytes == 0 {
+		f := cfg.HeapFactor
+		if f == 0 {
+			f = 4
+		}
+		heapBytes = uint64(f * float64(prog.MinHeap))
+	}
+	if cfg.Coalloc && !cfg.Monitoring {
+		cfg.Monitoring = true
+	}
+	track := cfg.TrackFields
+	if len(track) == 0 && prog.HotFieldName != "" {
+		track = []string{prog.HotFieldName}
+	}
+
+	opts := core.Options{
+		Collector:        cfg.Collector,
+		HeapLimit:        heapBytes,
+		Monitoring:       cfg.Monitoring,
+		SamplingInterval: cfg.Interval,
+		Event:            cfg.Event,
+		Coalloc:          cfg.Coalloc,
+		Adaptive:         cfg.Adaptive,
+		Seed:             cfg.Seed,
+		TrackFields:      track,
+		MonitorConfig:    cfg.MonitorConfig,
+	}
+	if cfg.Gap != 0 || cfg.GapAtCycle != 0 || cfg.DisableRevert || cfg.Ranked {
+		cc := coalloc.DefaultConfig()
+		cc.Gap = cfg.Gap
+		cc.GapAtCycle = cfg.GapAtCycle
+		cc.RevertEnabled = !cfg.DisableRevert
+		cc.Ranked = cfg.Ranked
+		opts.CoallocConfig = &cc
+	}
+
+	sys := core.NewSystem(prog.U, opts)
+
+	plan := cfg.Plan
+	if plan == nil && !cfg.Adaptive {
+		level := cfg.OptLevel
+		if level == 0 {
+			level = 2
+		}
+		plan = AllOptPlan(prog.U, level)
+	}
+	if err := sys.Boot(plan, prog.Materialize); err != nil {
+		return nil, nil, fmt.Errorf("bench: %s: boot: %w", prog.Name, err)
+	}
+	if err := sys.Run(prog.Entry, cfg.MaxCycles); err != nil {
+		return nil, nil, fmt.Errorf("bench: %s: %w", prog.Name, err)
+	}
+	if prog.Expected != nil {
+		if err := checkResults(prog.Expected, sys.VM.Results()); err != nil {
+			return nil, nil, fmt.Errorf("bench: %s: %w", prog.Name, err)
+		}
+	}
+
+	res := &Result{
+		Program:   prog.Name,
+		Config:    cfg,
+		HeapBytes: heapBytes,
+		Cycles:    sys.VM.Cycles(),
+		Instret:   sys.VM.CPU.Instret(),
+		Cache:     sys.Hier().Stats(),
+		Space:     sys.VM.Table.Space(),
+		Results:   sys.VM.Results(),
+	}
+	res.MinorGCs, res.MajorGCs = sys.GCStats()
+	if sys.GenMS != nil {
+		st := sys.GenMS.Stats()
+		res.CoallocPairs = st.CoallocPairs
+		res.GCCycles = st.GCCycles
+		res.Fragmentation = st.Fragmentation
+	}
+	if sys.GenCopy != nil {
+		res.GCCycles = sys.GenCopy.Stats().GCCycles
+	}
+	if sys.Monitor != nil {
+		res.MonitorStats = sys.Monitor.Stats()
+	}
+	res.SamplesTaken = sys.Unit.Stats().SamplesTaken
+	return res, sys, nil
+}
+
+func checkResults(want, got []int64) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("result log length %d, want %d (got %v)", len(got), len(want), clip(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("result[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+func clip(xs []int64) []int64 {
+	if len(xs) > 8 {
+		return xs[:8]
+	}
+	return xs
+}
+
+// Repeat runs the same configuration reps times with distinct seeds
+// and returns the execution-time mean and standard deviation (the
+// paper reports averages over 3 executions, §6.1) plus the last run's
+// full result.
+func Repeat(b Builder, cfg RunConfig, reps int) (mean, stddev float64, last *Result, err error) {
+	var times []float64
+	for i := 0; i < reps; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*7919
+		r, _, e := Run(b, c)
+		if e != nil {
+			return 0, 0, nil, e
+		}
+		times = append(times, float64(r.Cycles))
+		last = r
+	}
+	return stats.Mean(times), stats.StdDev(times), last, nil
+}

@@ -1,0 +1,568 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"hpmvm/internal/core"
+	"hpmvm/internal/stats"
+)
+
+// This file implements the regeneration of every table and figure of
+// the paper's evaluation (§6). Each experiment returns both structured
+// data and a formatted text rendering; cmd/experiments prints them and
+// bench_test.go exposes them as Go benchmarks. EXPERIMENTS.md records
+// paper-vs-measured values.
+
+// Experiment names accepted by RunExperiment.
+var ExperimentNames = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablations"}
+
+// Options tunes experiment execution.
+type ExpOptions struct {
+	// Workloads restricts the benchmark set (nil = all registered).
+	Workloads []string
+	// Reps is the number of repetitions for timing experiments
+	// (paper: averages over 3 executions).
+	Reps int
+	// Seed is the base PRNG seed.
+	Seed int64
+}
+
+// DefaultExpOptions mirrors the paper's methodology.
+func DefaultExpOptions() ExpOptions {
+	return ExpOptions{Reps: 3, Seed: 1}
+}
+
+func (o ExpOptions) workloads() []string {
+	if len(o.Workloads) > 0 {
+		return o.Workloads
+	}
+	return Names()
+}
+
+// RunExperiment dispatches by name and returns the rendered result.
+func RunExperiment(name string, opt ExpOptions) (string, error) {
+	switch name {
+	case "table1":
+		return Table1(opt), nil
+	case "table2":
+		return Table2(opt)
+	case "fig2":
+		return Fig2(opt)
+	case "fig3":
+		return Fig3(opt)
+	case "fig4":
+		return Fig4(opt)
+	case "fig5":
+		return Fig5(opt)
+	case "fig6":
+		return Fig6(opt)
+	case "fig7":
+		return Fig7(opt)
+	case "fig8":
+		return Fig8(opt)
+	case "ablations":
+		return Ablations(opt)
+	default:
+		return "", fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(ExperimentNames, ", "))
+	}
+}
+
+// --- Table 1: benchmark programs -------------------------------------------
+
+// Table1 lists the benchmark programs (the paper's Table 1).
+func Table1(opt ExpOptions) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Benchmark programs\n")
+	fmt.Fprintf(&b, "%-11s %s\n", "program", "description")
+	for _, name := range opt.workloads() {
+		builder, _ := Get(name)
+		p := builder()
+		fmt.Fprintf(&b, "%-11s %s\n", p.Name, p.Description)
+	}
+	return b.String()
+}
+
+// --- Table 2: space overhead ------------------------------------------------
+
+// Table2Row is one program's map-space numbers in KB.
+type Table2Row struct {
+	Program     string
+	MachineCode uint64
+	GCMaps      uint64
+	MCMaps      uint64
+	Methods     int
+}
+
+// Table2Data computes the space overhead of the machine-code maps for
+// every workload. Only boot-time compilation is needed; no execution.
+func Table2Data(opt ExpOptions) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, name := range opt.workloads() {
+		builder, ok := Get(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", name)
+		}
+		prog := builder()
+		sys := core.NewSystem(prog.U, core.Options{Seed: opt.Seed})
+		if err := sys.Boot(AllOptPlan(prog.U, 2), prog.Materialize); err != nil {
+			return nil, err
+		}
+		sp := sys.VM.Table.Space()
+		rows = append(rows, Table2Row{
+			Program:     name,
+			MachineCode: sp.CodeBytes / 1024,
+			GCMaps:      sp.GCMapBytes / 1024,
+			MCMaps:      sp.MCMapBytes / 1024,
+			Methods:     sp.Methods,
+		})
+	}
+	return rows, nil
+}
+
+// Table2 renders the space-overhead table (paper Table 2). The paper's
+// final "boot image" row does not apply: the VM itself is the host
+// simulator, not compiled guest code (see DESIGN.md).
+func Table2(opt ExpOptions) (string, error) {
+	rows, err := Table2Data(opt)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Space overhead — size of machine code maps (KB)\n")
+	fmt.Fprintf(&b, "%-11s %8s %13s %8s %8s %9s\n", "program", "mc (KB)", "GC maps (KB)", "MC maps", "methods", "MC/GC")
+	var tc, tg, tm uint64
+	for _, r := range rows {
+		ratio := float64(r.MCMaps) / float64(max64(r.GCMaps, 1))
+		fmt.Fprintf(&b, "%-11s %8d %13d %8d %8d %8.1fx\n",
+			r.Program, r.MachineCode, r.GCMaps, r.MCMaps, r.Methods, ratio)
+		tc += r.MachineCode
+		tg += r.GCMaps
+		tm += r.MCMaps
+	}
+	fmt.Fprintf(&b, "%-11s %8d %13d %8d\n", "total", tc, tg, tm)
+	return b.String(), nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// --- Figure 2: sampling overhead ---------------------------------------------
+
+// Fig2Intervals are the hardware sampling intervals the paper sweeps
+// (25K, 50K, 100K events), scaled by the ~1/100 run-length factor of
+// the simulation (DESIGN.md §7): the interval-to-event-volume ratio —
+// what determines both overhead and coverage — matches the paper's.
+var Fig2Intervals = []uint64{250, 500, 1000, 0} // 0 = auto
+
+// Fig2Labels name the sweep points with their paper-scale equivalents.
+var Fig2Labels = []string{"25K~", "50K~", "100K~", "auto"}
+
+// Fig2Row is one program's overhead series.
+type Fig2Row struct {
+	Program  string
+	Baseline float64   // mean cycles without monitoring
+	Overhead []float64 // fractional overhead per interval (Fig2Intervals order)
+}
+
+// Fig2Data measures execution-time overhead of runtime event sampling
+// (monitoring on, co-allocation off) against the unmonitored baseline
+// at heap 4x (paper Figure 2).
+func Fig2Data(opt ExpOptions) ([]Fig2Row, error) {
+	var rows []Fig2Row
+	for _, name := range opt.workloads() {
+		builder, ok := Get(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", name)
+		}
+		base, _, _, err := Repeat(builder, RunConfig{Seed: opt.Seed}, opt.Reps)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig2Row{Program: name, Baseline: base}
+		for _, iv := range Fig2Intervals {
+			m, _, _, err := Repeat(builder, RunConfig{
+				Monitoring: true, Interval: iv, Seed: opt.Seed,
+			}, opt.Reps)
+			if err != nil {
+				return nil, err
+			}
+			row.Overhead = append(row.Overhead, m/base-1)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig2 renders the sampling-overhead figure.
+func Fig2(opt ExpOptions) (string, error) {
+	rows, err := Fig2Data(opt)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: Execution time overhead of event sampling vs baseline (heap = 4x min)\n")
+	fmt.Fprintf(&b, "(intervals are the paper's 25K/50K/100K scaled by the 1/100 run-length factor)\n")
+	fmt.Fprintf(&b, "%-11s %8s %8s %8s %8s\n", "program", Fig2Labels[0], Fig2Labels[1], Fig2Labels[2], Fig2Labels[3])
+	means := make([]float64, len(Fig2Intervals))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s", r.Program)
+		for i, ov := range r.Overhead {
+			fmt.Fprintf(&b, " %7.2f%%", 100*ov)
+			means[i] += ov
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "%-11s", "average")
+	for i := range means {
+		fmt.Fprintf(&b, " %7.2f%%", 100*means[i]/float64(len(rows)))
+	}
+	fmt.Fprintln(&b)
+	return b.String(), nil
+}
+
+// --- Figure 3: co-allocated objects per interval ------------------------------
+
+// Fig3Row is one program's co-allocation counts per sampling interval.
+type Fig3Row struct {
+	Program string
+	Pairs   []uint64 // per interval (25K, 50K, 100K)
+}
+
+// Fig3Intervals are the sweep points for Figure 3 (the paper's 25K /
+// 50K / 100K scaled like Fig2Intervals).
+var Fig3Intervals = []uint64{250, 500, 1000}
+
+// Fig3Data counts co-allocated object pairs at different sampling
+// intervals (heap = 4x min, paper Figure 3; log-scale plot).
+func Fig3Data(opt ExpOptions) ([]Fig3Row, error) {
+	var rows []Fig3Row
+	for _, name := range opt.workloads() {
+		builder, _ := Get(name)
+		row := Fig3Row{Program: name}
+		for _, iv := range Fig3Intervals {
+			res, _, err := Run(builder, RunConfig{Coalloc: true, Interval: iv, Seed: opt.Seed})
+			if err != nil {
+				return nil, err
+			}
+			row.Pairs = append(row.Pairs, res.CoallocPairs)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig3 renders the co-allocation count sweep.
+func Fig3(opt ExpOptions) (string, error) {
+	rows, err := Fig3Data(opt)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: Number of co-allocated objects at different sampling intervals (heap = 4x)\n")
+	fmt.Fprintf(&b, "(intervals are the paper's 25K/50K/100K scaled by the 1/100 run-length factor)\n")
+	fmt.Fprintf(&b, "%-11s %10s %10s %10s\n", "program", "25K~", "50K~", "100K~")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %10d %10d %10d\n", r.Program, r.Pairs[0], r.Pairs[1], r.Pairs[2])
+	}
+	return b.String(), nil
+}
+
+// --- Figure 4: L1 miss reduction ----------------------------------------------
+
+// Fig4Row is one program's miss numbers.
+type Fig4Row struct {
+	Program   string
+	BaseL1    uint64
+	CoL1      uint64
+	Reduction float64 // fraction of L1 misses removed
+	Pairs     uint64
+}
+
+// Fig4Data measures the L1 miss reduction with co-allocation on versus
+// the GenMS baseline at heap 4x (paper Figure 4), auto interval.
+func Fig4Data(opt ExpOptions) ([]Fig4Row, error) {
+	var rows []Fig4Row
+	for _, name := range opt.workloads() {
+		builder, _ := Get(name)
+		base, _, err := Run(builder, RunConfig{Seed: opt.Seed})
+		if err != nil {
+			return nil, err
+		}
+		co, _, err := Run(builder, RunConfig{Coalloc: true, Interval: 0, Seed: opt.Seed})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig4Row{
+			Program:   name,
+			BaseL1:    base.Cache.L1Misses,
+			CoL1:      co.Cache.L1Misses,
+			Reduction: 1 - float64(co.Cache.L1Misses)/float64(max64(base.Cache.L1Misses, 1)),
+			Pairs:     co.CoallocPairs,
+		})
+	}
+	return rows, nil
+}
+
+// Fig4 renders the miss-reduction figure.
+func Fig4(opt ExpOptions) (string, error) {
+	rows, err := Fig4Data(opt)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: L1 miss reduction with co-allocation (heap = 4x min, auto interval)\n")
+	fmt.Fprintf(&b, "%-11s %12s %12s %10s %10s\n", "program", "base L1", "coalloc L1", "reduction", "pairs")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %12d %12d %9.1f%% %10d\n",
+			r.Program, r.BaseL1, r.CoL1, 100*r.Reduction, r.Pairs)
+	}
+	return b.String(), nil
+}
+
+// --- Figure 5: execution time across heap sizes -------------------------------
+
+// Fig5Factors are the heap-size multiples the paper sweeps.
+var Fig5Factors = []float64{1, 1.5, 2, 3, 4}
+
+// Fig5Row is one program's normalized execution times.
+type Fig5Row struct {
+	Program    string
+	Normalized []float64 // coalloc time / baseline time per heap factor
+	StdDev     []float64
+}
+
+// Fig5Data measures normalized execution time (co-allocation vs GenMS
+// baseline) across heap sizes 1x–4x with the auto-selected sampling
+// interval (paper Figure 5).
+func Fig5Data(opt ExpOptions) ([]Fig5Row, error) {
+	var rows []Fig5Row
+	for _, name := range opt.workloads() {
+		builder, _ := Get(name)
+		row := Fig5Row{Program: name}
+		for _, f := range Fig5Factors {
+			base, bsd, _, err := Repeat(builder, RunConfig{HeapFactor: f, Seed: opt.Seed}, opt.Reps)
+			if err != nil {
+				return nil, err
+			}
+			co, csd, _, err := Repeat(builder, RunConfig{HeapFactor: f, Coalloc: true, Seed: opt.Seed}, opt.Reps)
+			if err != nil {
+				return nil, err
+			}
+			row.Normalized = append(row.Normalized, co/base)
+			row.StdDev = append(row.StdDev, (bsd+csd)/(2*base))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig5 renders the heap-size sweep.
+func Fig5(opt ExpOptions) (string, error) {
+	rows, err := Fig5Data(opt)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: Execution time with co-allocation relative to baseline (auto interval)\n")
+	fmt.Fprintf(&b, "%-11s", "program")
+	for _, f := range Fig5Factors {
+		fmt.Fprintf(&b, " %7.1fx", f)
+	}
+	fmt.Fprintf(&b, " %9s\n", "max σ")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s", r.Program)
+		for _, v := range r.Normalized {
+			fmt.Fprintf(&b, " %8.3f", v)
+		}
+		maxSD := 0.0
+		for _, sd := range r.StdDev {
+			if sd > maxSD {
+				maxSD = sd
+			}
+		}
+		fmt.Fprintf(&b, " %8.4f\n", maxSD)
+	}
+	fmt.Fprintf(&b, "(σ is the relative standard deviation over repetitions; the paper\n")
+	fmt.Fprintf(&b, " reports these to be very small in practice, §6.1)\n")
+	return b.String(), nil
+}
+
+// --- Figure 6: GenCopy vs GenMS+coalloc on db ---------------------------------
+
+// Fig6Row holds db times for one heap factor.
+type Fig6Row struct {
+	Factor    float64
+	GenMSBase float64
+	GenMSCo   float64
+	GenCopy   float64
+}
+
+// Fig6Data compares collectors on db across heap sizes (paper Figure
+// 6): GenMS baseline, GenMS with co-allocation, and GenCopy. Values
+// are mean cycles.
+func Fig6Data(opt ExpOptions) ([]Fig6Row, error) {
+	builder, ok := Get("db")
+	if !ok {
+		return nil, fmt.Errorf("db workload not registered")
+	}
+	var rows []Fig6Row
+	for _, f := range Fig5Factors {
+		base, _, _, err := Repeat(builder, RunConfig{HeapFactor: f, Seed: opt.Seed}, opt.Reps)
+		if err != nil {
+			return nil, err
+		}
+		co, _, _, err := Repeat(builder, RunConfig{HeapFactor: f, Coalloc: true, Seed: opt.Seed}, opt.Reps)
+		if err != nil {
+			return nil, err
+		}
+		gc, _, _, err := Repeat(builder, RunConfig{HeapFactor: f, Collector: core.GenCopy, Seed: opt.Seed}, opt.Reps)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig6Row{Factor: f, GenMSBase: base, GenMSCo: co, GenCopy: gc})
+	}
+	return rows, nil
+}
+
+// Fig6 renders the collector comparison (normalized to GenMS baseline
+// at each heap size).
+func Fig6(opt ExpOptions) (string, error) {
+	rows, err := Fig6Data(opt)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: db — GenCopy vs GenMS with co-allocation (normalized to GenMS baseline)\n")
+	fmt.Fprintf(&b, "%6s %12s %12s %12s %14s\n", "heap", "GenMS", "GenMS+co", "GenCopy", "co vs GenCopy")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%5.1fx %12.3f %12.3f %12.3f %13.1f%%\n",
+			r.Factor, 1.0, r.GenMSCo/r.GenMSBase, r.GenCopy/r.GenMSBase,
+			100*(1-r.GenMSCo/r.GenCopy))
+	}
+	return b.String(), nil
+}
+
+// --- Figure 7: runtime feedback on db ------------------------------------------
+
+// Fig7Data runs db twice — monitoring only, and with co-allocation —
+// while tracking String::value, and returns for each run the
+// cumulative estimated miss series plus the coalloc run's per-period
+// miss-rate series with its 3-period moving average (paper Figure 7:
+// the dyn-coalloc curve bends when co-allocation kicks in; the
+// baseline keeps climbing).
+func Fig7Data(opt ExpOptions) (baseCum, coCum, rate, smooth *stats.Series, err error) {
+	builder, _ := Get("db")
+	prog := builder()
+
+	extract := func(cfg RunConfig) (*stats.Series, *stats.Series, error) {
+		_, sys, err := Run(builder, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, fc := range sys.Monitor.HotFields() {
+			if fc.Field.QualifiedName() == prog.HotFieldName {
+				return &fc.Series, &fc.RateSeries, nil
+			}
+		}
+		return nil, nil, fmt.Errorf("fig7: field %s received no samples", prog.HotFieldName)
+	}
+
+	baseRaw, _, err := extract(RunConfig{Monitoring: true, Interval: 2500, Seed: opt.Seed})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	coRaw, coRate, err := extract(RunConfig{Coalloc: true, Interval: 2500, Seed: opt.Seed})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return baseRaw.Cumulative(), coRaw.Cumulative(), coRate, coRate.Smoothed(3), nil
+}
+
+// Fig7 renders the feedback time series.
+func Fig7(opt ExpOptions) (string, error) {
+	baseCum, coCum, rate, smooth, err := Fig7Data(opt)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7a: db — cumulative String::value misses (baseline vs dyn-coalloc)\n")
+	fmt.Fprintf(&b, "%14s %14s      %14s %14s\n", "cycle", "baseline-cum", "cycle", "coalloc-cum")
+	n := len(baseCum.Samples)
+	if len(coCum.Samples) > n {
+		n = len(coCum.Samples)
+	}
+	for i := 0; i < n; i++ {
+		bc, bv, cc, cv := "", "", "", ""
+		if i < len(baseCum.Samples) {
+			bc = fmt.Sprintf("%14d", baseCum.Samples[i].Time)
+			bv = fmt.Sprintf("%14.0f", baseCum.Samples[i].Value)
+		}
+		if i < len(coCum.Samples) {
+			cc = fmt.Sprintf("%14d", coCum.Samples[i].Time)
+			cv = fmt.Sprintf("%14.0f", coCum.Samples[i].Value)
+		}
+		fmt.Fprintf(&b, "%14s %14s      %14s %14s\n", bc, bv, cc, cv)
+	}
+	if bl, cl := baseCum.Last(), coCum.Last(); bl > 0 {
+		fmt.Fprintf(&b, "\ntotal String::value misses: baseline %.0f, dyn-coalloc %.0f (%.0f%% reduction on those objects)\n",
+			bl, cl, 100*(1-cl/bl))
+	}
+	fmt.Fprintf(&b, "\nFigure 7b: dyn-coalloc miss rate over time (misses/Mcycle)\n")
+	fmt.Fprintf(&b, "%14s %14s %14s\n", "cycle", "rate", "moving-avg(3)")
+	for i := range rate.Samples {
+		fmt.Fprintf(&b, "%14d %14.0f %14.1f\n",
+			rate.Samples[i].Time, rate.Samples[i].Value, smooth.Samples[i].Value)
+	}
+	return b.String(), nil
+}
+
+// --- Figure 8: detecting a poor placement ---------------------------------------
+
+// Fig8GapAtCycle is the point of the Figure 8 manual intervention:
+// db starts out with a good (adjacent) allocation order, and at this
+// cycle the GC is instructed to place one cache line of empty space
+// between the String and char[] objects. The monitoring loop must
+// discover the regression and switch back.
+const Fig8GapAtCycle = 120_000_000
+
+// Fig8Data runs the Figure 8 scenario and returns the String::value
+// miss-rate series and the policy's decision log.
+func Fig8Data(opt ExpOptions) (*stats.Series, []string, error) {
+	builder, _ := Get("db")
+	_, sys, err := Run(builder, RunConfig{Coalloc: true, GapAtCycle: Fig8GapAtCycle, Interval: 2500, Seed: opt.Seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, fc := range sys.Monitor.HotFields() {
+		if fc.Field.QualifiedName() == "String::value" {
+			return &fc.RateSeries, sys.Policy.Events(), nil
+		}
+	}
+	return nil, nil, fmt.Errorf("fig8: String::value received no samples")
+}
+
+// Fig8 renders the poor-placement detection experiment.
+func Fig8(opt ExpOptions) (string, error) {
+	series, events, err := Fig8Data(opt)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: db — misses for String objects with a deliberately poor placement\n")
+	fmt.Fprintf(&b, "(one cache line of padding between String and char[]; the feedback loop\n")
+	fmt.Fprintf(&b, " detects that the placement does not help and reverts to adjacent placement)\n\n")
+	fmt.Fprintf(&b, "policy decisions:\n")
+	for _, e := range events {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	fmt.Fprintf(&b, "\n%14s %14s\n", "cycle", "misses/Mcycle")
+	for _, s := range series.Samples {
+		fmt.Fprintf(&b, "%14d %14.0f\n", s.Time, s.Value)
+	}
+	return b.String(), nil
+}

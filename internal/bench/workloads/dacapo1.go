@@ -1,0 +1,485 @@
+package workloads
+
+import (
+	"hpmvm/internal/vm/bytecode"
+	"hpmvm/internal/vm/classfile"
+)
+
+// DaCapo analogues, part 1: antlr, bloat, fop, hsqldb.
+
+// --- antlr ------------------------------------------------------------------
+//
+// Grammar-graph shape: nodes with labeled edges; repeated closure
+// walks over the graph plus construction of derived sub-graphs.
+const (
+	antlrNodes    = 12000
+	antlrEdges    = 4
+	antlrWalks    = 250
+	antlrWalkLen  = 500
+	antlrRelabels = 40 // nodes relabeled after each walk (string churn)
+	antlrSeed     = 210210
+)
+
+func init() {
+	register("antlr", "grammar graph: labeled-edge closure walks with derived graphs",
+		5<<20, "GNode::label", buildAntlr)
+}
+
+func buildAntlr(l *Lib) (*classfile.Method, []int64) {
+	u := l.U
+	gnode := u.DefineClass("GNode", nil)
+	nEdges := u.AddField(gnode, "edges", kRef) // ref[antlrEdges]
+	nLabel := u.AddField(gnode, "label", kRef) // String
+	nID := u.AddField(gnode, "id", kInt)
+
+	main := l.Entry("AntlrMain")
+	b := l.B(main)
+	b.Local("rand", kRef)
+	b.Local("nodes", kRef) // ref[]
+	b.Local("i", kInt)
+	b.Local("j", kInt)
+	b.Local("n", kRef)
+	b.Local("cur", kRef)
+	b.Local("step", kInt)
+	b.Local("check", kInt)
+
+	b.Const(antlrSeed).InvokeStatic(l.NewRand).Store("rand")
+	b.Const(antlrNodes).NewArray(u.RefArray).Store("nodes")
+	// Create nodes.
+	b.Label("mk")
+	b.Load("i").Const(antlrNodes).If(bytecode.OpIfGE, "wire")
+	b.New(gnode).Store("n")
+	b.Load("n").Load("i").PutField(nID)
+	b.Load("n").Load("rand").Const(6).InvokeStatic(l.RandStr).PutField(nLabel)
+	b.Load("n").Const(antlrEdges).NewArray(u.RefArray).PutField(nEdges)
+	b.Load("nodes").Load("i").Load("n").AStore(kRef)
+	b.Inc("i", 1)
+	b.Goto("mk")
+	// Wire random edges.
+	b.Label("wire")
+	b.Const(0).Store("i")
+	b.Label("wi")
+	b.Load("i").Const(antlrNodes).If(bytecode.OpIfGE, "walk")
+	b.Load("nodes").Load("i").ALoad(kRef).Store("n")
+	b.Const(0).Store("j")
+	b.Label("wj")
+	b.Load("j").Const(antlrEdges).If(bytecode.OpIfGE, "winext")
+	b.Load("n").GetField(nEdges).Load("j").
+		Load("nodes").Load("rand").InvokeVirtual(l.RandNext).Const(antlrNodes).Rem().ALoad(kRef).
+		AStore(kRef)
+	b.Inc("j", 1)
+	b.Goto("wj")
+	b.Label("winext")
+	b.Inc("i", 1)
+	b.Goto("wi")
+	// Closure walks: follow edges, hashing the first char of each
+	// label (GNode::label -> String::value path).
+	b.Label("walk")
+	b.Const(0).Store("i")
+	b.Label("wloop")
+	b.Load("i").Const(antlrWalks).If(bytecode.OpIfGE, "done")
+	b.Load("nodes").Load("rand").InvokeVirtual(l.RandNext).Const(antlrNodes).Rem().ALoad(kRef).Store("cur")
+	b.Const(0).Store("step")
+	b.Label("sloop")
+	b.Load("step").Const(antlrWalkLen).If(bytecode.OpIfGE, "winc")
+	b.Load("check").Const(31).Mul().
+		Load("cur").GetField(nLabel).GetField(l.StrValue).Const(0).ALoad(kChar).Add().
+		Const(0xFFFFFFF).And().Store("check")
+	b.Load("cur").GetField(nEdges).
+		Load("cur").GetField(nID).Load("step").Add().Const(antlrEdges).Rem().
+		ALoad(kRef).Store("cur")
+	b.Inc("step", 1)
+	b.Goto("sloop")
+	b.Label("winc")
+	// Derived sub-graph: relabel a batch of nodes (string churn keeps
+	// the nursery turning over during the walk phase).
+	b.Const(0).Store("j")
+	b.Label("relabel")
+	b.Load("j").Const(antlrRelabels).If(bytecode.OpIfGE, "wnext")
+	b.Load("nodes").Load("rand").InvokeVirtual(l.RandNext).Const(antlrNodes).Rem().ALoad(kRef).Store("n")
+	b.Load("n").Load("rand").Const(6).InvokeStatic(l.RandStr).PutField(nLabel)
+	b.Inc("j", 1)
+	b.Goto("relabel")
+	b.Label("wnext")
+	b.Inc("i", 1)
+	b.Goto("wloop")
+	b.Label("done")
+	b.Load("check").Result()
+	b.Return()
+	Done(b)
+
+	return main, nil
+}
+
+// --- bloat ------------------------------------------------------------------
+//
+// Bytecode-optimizer shape: instruction chains (def-use linked lists)
+// that optimization passes rewrite: dead instructions are unlinked,
+// peephole pairs are fused into fresh instructions. Chain walks read
+// insn.next.op — the Insn::next access path.
+const (
+	bloatMethods = 350
+	bloatInsns   = 120
+	bloatPasses  = 10
+	bloatSeed    = 600700
+)
+
+func init() {
+	register("bloat", "bytecode optimizer: def-use chain rewriting passes",
+		6<<20, "Insn::next", buildBloat)
+}
+
+func buildBloat(l *Lib) (*classfile.Method, []int64) {
+	u := l.U
+	insn := u.DefineClass("Insn", nil)
+	iOp := u.AddField(insn, "op", kInt)
+	iNext := u.AddField(insn, "next", kRef)
+
+	main := l.Entry("BloatMain")
+	b := l.B(main)
+	b.Local("rand", kRef)
+	b.Local("methods", kRef) // ref[] of chain heads
+	b.Local("m", kInt)
+	b.Local("i", kInt)
+	b.Local("p", kInt)
+	b.Local("head", kRef)
+	b.Local("cur", kRef)
+	b.Local("nx", kRef)
+	b.Local("fresh", kRef)
+	b.Local("check", kInt)
+
+	b.Const(bloatSeed).InvokeStatic(l.NewRand).Store("rand")
+	b.Const(bloatMethods).NewArray(u.RefArray).Store("methods")
+	// Build instruction chains.
+	b.Label("mkm")
+	b.Load("m").Const(bloatMethods).If(bytecode.OpIfGE, "opt")
+	b.Null().Store("head")
+	b.Const(0).Store("i")
+	b.Label("mki")
+	b.Load("i").Const(bloatInsns).If(bytecode.OpIfGE, "mstore")
+	b.New(insn).Store("cur")
+	b.Load("cur").Load("rand").InvokeVirtual(l.RandNext).Const(64).Rem().PutField(iOp)
+	b.Load("cur").Load("head").PutField(iNext)
+	b.Load("cur").Store("head")
+	b.Inc("i", 1)
+	b.Goto("mki")
+	b.Label("mstore")
+	b.Load("methods").Load("m").Load("head").AStore(kRef)
+	b.Inc("m", 1)
+	b.Goto("mkm")
+	// Optimization passes. Each pass also rebuilds a batch of method
+	// chains from scratch (real bytecode optimizers reconstruct IR per
+	// method), which keeps fresh instruction chains flowing into the
+	// mature space.
+	b.Label("opt")
+	b.Const(0).Store("p")
+	b.Label("ploop")
+	b.Load("p").Const(bloatPasses).If(bytecode.OpIfGE, "emit")
+	b.Const(0).Store("m")
+	b.Label("rebuild")
+	b.Load("m").Const(40).If(bytecode.OpIfGE, "optm")
+	b.Null().Store("head")
+	b.Const(0).Store("i")
+	b.Label("rb2")
+	b.Load("i").Const(bloatInsns).If(bytecode.OpIfGE, "rbstore")
+	b.New(insn).Store("cur")
+	b.Load("cur").Load("rand").InvokeVirtual(l.RandNext).Const(64).Rem().PutField(iOp)
+	b.Load("cur").Load("head").PutField(iNext)
+	b.Load("cur").Store("head")
+	b.Inc("i", 1)
+	b.Goto("rb2")
+	b.Label("rbstore")
+	b.Load("methods").Load("rand").InvokeVirtual(l.RandNext).Const(bloatMethods).Rem().Load("head").AStore(kRef)
+	b.Inc("m", 1)
+	b.Goto("rebuild")
+	b.Label("optm")
+	b.Const(0).Store("m")
+	b.Label("mloop")
+	b.Load("m").Const(bloatMethods).If(bytecode.OpIfGE, "pnext")
+	b.Load("methods").Load("m").ALoad(kRef).Store("cur")
+	b.Label("iloop")
+	b.Load("cur").IfNull("mnext")
+	b.Load("cur").GetField(iNext).IfNull("mnext")
+	// Peephole: op==0 followed by anything -> fuse into a fresh insn
+	// that skips the pair; other dead ops (op==1) are unlinked.
+	b.Load("cur").GetField(iNext).GetField(iOp).Const(0).If(bytecode.OpIfNE, "trydead")
+	b.New(insn).Store("fresh")
+	b.Load("fresh").Load("cur").GetField(iOp).Const(2).Add().Const(64).Rem().PutField(iOp)
+	b.Load("fresh").Load("cur").GetField(iNext).GetField(iNext).PutField(iNext)
+	b.Load("cur").Load("fresh").PutField(iNext)
+	b.Inc("check", 1)
+	b.Goto("step")
+	b.Label("trydead")
+	b.Load("cur").GetField(iNext).GetField(iOp).Const(1).If(bytecode.OpIfNE, "step")
+	b.Load("cur").Load("cur").GetField(iNext).GetField(iNext).PutField(iNext)
+	b.Inc("check", 1)
+	b.Label("step")
+	b.Load("cur").GetField(iNext).Store("cur")
+	b.Goto("iloop")
+	b.Label("mnext")
+	b.Inc("m", 1)
+	b.Goto("mloop")
+	b.Label("pnext")
+	b.Inc("p", 1)
+	b.Goto("ploop")
+	// Emit: checksum the op stream.
+	b.Label("emit")
+	b.Const(0).Store("m")
+	b.Label("em")
+	b.Load("m").Const(bloatMethods).If(bytecode.OpIfGE, "done")
+	b.Load("methods").Load("m").ALoad(kRef).Store("cur")
+	b.Label("ew")
+	b.Load("cur").IfNull("enext")
+	b.Load("check").Const(3).Mul().Load("cur").GetField(iOp).Add().Const(0xFFFFFFF).And().Store("check")
+	b.Load("cur").GetField(iNext).Store("cur")
+	b.Goto("ew")
+	b.Label("enext")
+	b.Inc("m", 1)
+	b.Goto("em")
+	b.Label("done")
+	b.Load("check").Result()
+	b.Return()
+	Done(b)
+
+	return main, nil
+}
+
+// --- fop --------------------------------------------------------------------
+//
+// Formatting-object shape: build a layout tree from "markup", then run
+// recursive width/height layout passes. Small code and heap (the paper
+// shows fop with the smallest maps in Table 2).
+const (
+	fopLeaves = 4000
+	fopFanout = 4
+	fopPasses = 12
+	fopSeed   = 45054
+)
+
+func init() {
+	register("fop", "XSL-FO layout: recursive box-tree layout passes",
+		4<<20, "", buildFop)
+}
+
+func buildFop(l *Lib) (*classfile.Method, []int64) {
+	u := l.U
+	box := u.DefineClass("Box", nil)
+	bKids := u.AddField(box, "kids", kRef) // ref[] or null for leaf
+	bW := u.AddField(box, "w", kInt)
+	bH := u.AddField(box, "h", kInt)
+
+	// build(rand, depth) -> Box (recursive).
+	build := u.AddMethod(box, "build", false, []classfile.Kind{kRef, kInt}, kRef)
+	b := l.B(build)
+	b.BindArg(0, "rand").BindArg(1, "depth")
+	b.Local("bx", kRef)
+	b.Local("i", kInt)
+	b.New(box).Store("bx")
+	b.Load("depth").Const(0).If(bytecode.OpIfGT, "inner")
+	b.Load("bx").Load("rand").InvokeVirtual(l.RandNext).Const(40).Rem().Const(1).Add().PutField(bW)
+	b.Load("bx").Const(12).PutField(bH)
+	b.Load("bx").ReturnVal()
+	b.Label("inner")
+	b.Load("bx").Const(fopFanout).NewArray(u.RefArray).PutField(bKids)
+	b.Label("kid")
+	b.Load("i").Const(fopFanout).If(bytecode.OpIfGE, "fin")
+	b.Load("bx").GetField(bKids).Load("i").
+		Load("rand").Load("depth").Const(1).Sub().InvokeStatic(build).AStore(kRef)
+	b.Inc("i", 1)
+	b.Goto("kid")
+	b.Label("fin")
+	b.Load("bx").ReturnVal()
+	Done(b)
+
+	// layout(bx) -> width (recursive sum; also sets h as max child h + 1).
+	layout := u.AddMethod(box, "layout", false, []classfile.Kind{kRef}, kInt)
+	b = l.B(layout)
+	b.BindArg(0, "bx")
+	b.Local("i", kInt)
+	b.Local("wsum", kInt)
+	b.Local("hmax", kInt)
+	b.Local("k", kRef)
+	b.Load("bx").GetField(bKids).IfNonNull("rec")
+	b.Load("bx").GetField(bW).ReturnVal()
+	b.Label("rec")
+	b.Label("loop")
+	b.Load("i").Load("bx").GetField(bKids).ArrayLen().If(bytecode.OpIfGE, "setw")
+	b.Load("bx").GetField(bKids).Load("i").ALoad(kRef).Store("k")
+	b.Load("wsum").Load("k").InvokeStatic(layout).Add().Store("wsum")
+	b.Load("k").GetField(bH).Load("hmax").If(bytecode.OpIfLE, "skiph")
+	b.Load("k").GetField(bH).Store("hmax")
+	b.Label("skiph")
+	b.Inc("i", 1)
+	b.Goto("loop")
+	b.Label("setw")
+	b.Load("bx").Load("wsum").PutField(bW)
+	b.Load("bx").Load("hmax").Const(1).Add().PutField(bH)
+	b.Load("wsum").ReturnVal()
+	Done(b)
+
+	main := l.Entry("FopMain")
+	b = l.B(main)
+	b.Local("rand", kRef)
+	b.Local("root", kRef)
+	b.Local("p", kInt)
+	b.Local("check", kInt)
+	b.Local("depth", kInt)
+	b.Const(fopSeed).InvokeStatic(l.NewRand).Store("rand")
+	// depth so that fanout^depth ~ fopLeaves
+	b.Const(6).Store("depth")
+	b.Load("rand").Load("depth").InvokeStatic(build).Store("root")
+	b.Label("ploop")
+	b.Load("p").Const(fopPasses).If(bytecode.OpIfGE, "done")
+	b.Load("check").Load("root").InvokeStatic(layout).Add().Const(0xFFFFFFF).And().Store("check")
+	// Mutate a random leaf path: rebuild one subtree (churn).
+	b.Load("root").GetField(bKids).
+		Load("rand").InvokeVirtual(l.RandNext).Const(fopFanout).Rem().
+		Load("rand").Const(4).InvokeStatic(build).AStore(kRef)
+	b.Inc("p", 1)
+	b.Goto("ploop")
+	b.Label("done")
+	b.Load("check").Result()
+	b.Return()
+	Done(b)
+
+	return main, nil
+}
+
+// --- hsqldb -----------------------------------------------------------------
+//
+// Embedded-database shape: a table of rows plus a chained hash index
+// keyed by String; transactions insert, look up and delete rows. Index
+// probes chase Entry -> String -> char[] — a strong co-allocation
+// candidate population (the paper counts many co-allocated objects for
+// hsqldb).
+const (
+	hsqlBuckets = 4096
+	hsqlRows    = 9000
+	hsqlTxns    = 30000
+	hsqlKeyLen  = 10
+	hsqlSeed    = 118811
+)
+
+func init() {
+	register("hsqldb", "embedded DB: chained hash index over String keys",
+		8<<20, "Entry::key", buildHsqldb)
+}
+
+func buildHsqldb(l *Lib) (*classfile.Method, []int64) {
+	u := l.U
+	entry := u.DefineClass("Entry", nil)
+	eKey := u.AddField(entry, "key", kRef)
+	eVal := u.AddField(entry, "val", kInt)
+	eNext := u.AddField(entry, "next", kRef)
+
+	// bucket(s) -> index: strHash(s) & (buckets-1)
+	bucket := u.AddMethod(entry, "bucket", false, []classfile.Kind{kRef}, kInt)
+	b := l.B(bucket)
+	b.BindArg(0, "s")
+	b.Load("s").InvokeStatic(l.StrHash).Const(hsqlBuckets - 1).And().ReturnVal()
+	Done(b)
+
+	// insert(idx, s, v): prepend entry to its chain.
+	insert := u.AddMethod(entry, "insert", false, []classfile.Kind{kRef, kRef, kInt}, kVoid)
+	b = l.B(insert)
+	b.BindArg(0, "idx").BindArg(1, "s").BindArg(2, "v")
+	b.Local("e", kRef)
+	b.Local("h", kInt)
+	b.New(entry).Store("e")
+	b.Load("e").Load("s").PutField(eKey)
+	b.Load("e").Load("v").PutField(eVal)
+	b.Load("s").InvokeStatic(bucket).Store("h")
+	b.Load("e").Load("idx").Load("h").ALoad(kRef).PutField(eNext)
+	b.Load("idx").Load("h").Load("e").AStore(kRef)
+	b.Return()
+	Done(b)
+
+	// lookup(idx, s) -> val or -1: walk the chain comparing keys.
+	lookup := u.AddMethod(entry, "lookup", false, []classfile.Kind{kRef, kRef}, kInt)
+	b = l.B(lookup)
+	b.BindArg(0, "idx").BindArg(1, "s")
+	b.Local("e", kRef)
+	b.Load("idx").Load("s").InvokeStatic(bucket).ALoad(kRef).Store("e")
+	b.Label("walk")
+	b.Load("e").IfNull("miss")
+	b.Load("s").Load("e").GetField(eKey).InvokeStatic(l.StrCmp).Const(0).If(bytecode.OpIfNE, "next")
+	b.Load("e").GetField(eVal).ReturnVal()
+	b.Label("next")
+	b.Load("e").GetField(eNext).Store("e")
+	b.Goto("walk")
+	b.Label("miss")
+	b.Const(-1).ReturnVal()
+	Done(b)
+
+	// remove(idx, s) -> 1 if removed else 0 (unlinks first match).
+	remove := u.AddMethod(entry, "remove", false, []classfile.Kind{kRef, kRef}, kInt)
+	b = l.B(remove)
+	b.BindArg(0, "idx").BindArg(1, "s")
+	b.Local("e", kRef)
+	b.Local("prev", kRef)
+	b.Local("h", kInt)
+	b.Load("s").InvokeStatic(bucket).Store("h")
+	b.Load("idx").Load("h").ALoad(kRef).Store("e")
+	b.Null().Store("prev")
+	b.Label("walk")
+	b.Load("e").IfNull("miss")
+	b.Load("s").Load("e").GetField(eKey).InvokeStatic(l.StrCmp).Const(0).If(bytecode.OpIfNE, "next")
+	b.Load("prev").IfNull("head")
+	b.Load("prev").Load("e").GetField(eNext).PutField(eNext)
+	b.Const(1).ReturnVal()
+	b.Label("head")
+	b.Load("idx").Load("h").Load("e").GetField(eNext).AStore(kRef)
+	b.Const(1).ReturnVal()
+	b.Label("next")
+	b.Load("e").Store("prev")
+	b.Load("e").GetField(eNext).Store("e")
+	b.Goto("walk")
+	b.Label("miss")
+	b.Const(0).ReturnVal()
+	Done(b)
+
+	main := l.Entry("HsqldbMain")
+	b = l.B(main)
+	b.Local("rand", kRef)
+	b.Local("replay", kRef)
+	b.Local("idx", kRef)
+	b.Local("i", kInt)
+	b.Local("check", kInt)
+	b.Local("s", kRef)
+	b.Const(hsqlSeed).InvokeStatic(l.NewRand).Store("rand")
+	b.Const(hsqlBuckets).NewArray(u.RefArray).Store("idx")
+	// Load phase: insert hsqlRows keyed rows.
+	b.Label("load")
+	b.Load("i").Const(hsqlRows).If(bytecode.OpIfGE, "txs")
+	b.Load("idx").Load("rand").Const(hsqlKeyLen).InvokeStatic(l.RandStr).Load("i").InvokeStatic(insert)
+	b.Inc("i", 1)
+	b.Goto("load")
+	// Transaction phase: a replay Rand regenerates known keys so
+	// lookups/deletes hit; odd transactions insert fresh keys.
+	b.Label("txs")
+	b.Const(hsqlSeed).InvokeStatic(l.NewRand).Store("replay")
+	b.Const(0).Store("i")
+	b.Label("tx")
+	b.Load("i").Const(hsqlTxns).If(bytecode.OpIfGE, "done")
+	b.Load("i").Const(3).Rem().Const(0).If(bytecode.OpIfNE, "fresh")
+	// lookup a known key
+	b.Load("replay").Const(hsqlKeyLen).InvokeStatic(l.RandStr).Store("s")
+	b.Load("check").Load("idx").Load("s").InvokeStatic(lookup).Add().Const(0xFFFFFFF).And().Store("check")
+	b.Goto("txnext")
+	b.Label("fresh")
+	b.Load("i").Const(3).Rem().Const(1).If(bytecode.OpIfNE, "del")
+	b.Load("idx").Load("rand").Const(hsqlKeyLen).InvokeStatic(l.RandStr).Load("i").InvokeStatic(insert)
+	b.Goto("txnext")
+	b.Label("del")
+	b.Load("rand").Const(hsqlKeyLen).InvokeStatic(l.RandStr).Store("s")
+	b.Load("check").Load("idx").Load("s").InvokeStatic(remove).Add().Store("check")
+	b.Label("txnext")
+	b.Inc("i", 1)
+	b.Goto("tx")
+	b.Label("done")
+	b.Load("check").Result()
+	b.Return()
+	Done(b)
+
+	return main, nil
+}

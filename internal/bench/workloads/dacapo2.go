@@ -1,0 +1,468 @@
+package workloads
+
+import (
+	"fmt"
+
+	"hpmvm/internal/vm/bytecode"
+	"hpmvm/internal/vm/classfile"
+)
+
+// DaCapo analogues, part 2: jython, luindex, lusearch, pmd.
+
+// --- jython -----------------------------------------------------------------
+//
+// Interpreter shape: a large population of small generated handler
+// methods (jython has by far the largest compiled-code and map
+// footprint in Table 2) dispatched through a generated binary tree of
+// dispatch methods, operating on boxed PyObj values with occasional
+// boxing churn.
+const (
+	jythonHandlers = 128
+	jythonPool     = 2048
+	jythonOps      = 160_000
+	jythonSeed     = 360360
+)
+
+func init() {
+	register("jython", "interpreter: 250+ generated handler methods over boxed values",
+		5<<20, "", buildJython)
+}
+
+func buildJython(l *Lib) (*classfile.Method, []int64) {
+	u := l.U
+	pyobj := u.DefineClass("PyObj", nil)
+	pIval := u.AddField(pyobj, "ival", kInt)
+	pType := u.AddField(pyobj, "type", kInt)
+
+	handlerCl := u.DefineClass("Handlers", nil)
+
+	// Generate the handler methods: h_k(obj, op) -> int.
+	handlers := make([]*classfile.Method, jythonHandlers)
+	for k := 0; k < jythonHandlers; k++ {
+		h := u.AddMethod(handlerCl, fmt.Sprintf("h%d", k), false, []classfile.Kind{kRef, kInt}, kInt)
+		b := l.B(h)
+		b.BindArg(0, "obj").BindArg(1, "op")
+		// Each handler applies a distinct affine update to the boxed
+		// value and returns a contribution.
+		b.Load("obj").
+			Load("obj").GetField(pIval).Const(int64(k%7 + 2)).Mul().
+			Load("op").Add().Const(0xFFFFFF).And().
+			PutField(pIval)
+		b.Load("obj").Const(int64(k)).PutField(pType)
+		b.Load("obj").GetField(pIval).Const(int64(k + 1)).Rem().ReturnVal()
+		Done(b)
+		handlers[k] = h
+	}
+
+	// Generate the dispatch tree: dispatch_lo_hi(obj, op) routes to the
+	// handler for op (op already reduced mod jythonHandlers).
+	var mkDispatch func(lo, hi int) *classfile.Method
+	mkDispatch = func(lo, hi int) *classfile.Method {
+		if lo == hi {
+			return handlers[lo]
+		}
+		mid := (lo + hi) / 2
+		left := mkDispatch(lo, mid)
+		right := mkDispatch(mid+1, hi)
+		d := u.AddMethod(handlerCl, fmt.Sprintf("d%d_%d", lo, hi), false, []classfile.Kind{kRef, kInt}, kInt)
+		b := l.B(d)
+		b.BindArg(0, "obj").BindArg(1, "op")
+		b.Load("op").Const(int64(mid)).If(bytecode.OpIfGT, "right")
+		b.Load("obj").Load("op").InvokeStatic(left).ReturnVal()
+		b.Label("right")
+		b.Load("obj").Load("op").InvokeStatic(right).ReturnVal()
+		Done(b)
+		return d
+	}
+	dispatch := mkDispatch(0, jythonHandlers-1)
+
+	main := l.Entry("JythonMain")
+	b := l.B(main)
+	b.Local("rand", kRef)
+	b.Local("pool", kRef)
+	b.Local("i", kInt)
+	b.Local("op", kInt)
+	b.Local("obj", kRef)
+	b.Local("check", kInt)
+	b.Const(jythonSeed).InvokeStatic(l.NewRand).Store("rand")
+	b.Const(jythonPool).NewArray(u.RefArray).Store("pool")
+	b.Label("mk")
+	b.Load("i").Const(jythonPool).If(bytecode.OpIfGE, "run")
+	b.New(pyobj).Store("obj")
+	b.Load("obj").Load("rand").InvokeVirtual(l.RandNext).Const(65536).Rem().PutField(pIval)
+	b.Load("pool").Load("i").Load("obj").AStore(kRef)
+	b.Inc("i", 1)
+	b.Goto("mk")
+	b.Label("run")
+	b.Const(0).Store("i")
+	b.Label("interp")
+	b.Load("i").Const(jythonOps).If(bytecode.OpIfGE, "done")
+	b.Load("rand").InvokeVirtual(l.RandNext).Store("op")
+	b.Load("pool").Load("op").Const(jythonPool).Rem().ALoad(kRef).Store("obj")
+	b.Load("check").
+		Load("obj").Load("op").Const(jythonHandlers).Rem().InvokeStatic(dispatch).
+		Add().Const(0xFFFFFFF).And().Store("check")
+	// Boxing churn: every 16th op replaces the pool slot with a fresh box.
+	b.Load("i").Const(15).And().Const(0).If(bytecode.OpIfNE, "next")
+	b.New(pyobj).Store("obj")
+	b.Load("obj").Load("i").PutField(pIval)
+	b.Load("pool").Load("op").Const(jythonPool).Rem().Load("obj").AStore(kRef)
+	b.Label("next")
+	b.Inc("i", 1)
+	b.Goto("interp")
+	b.Label("done")
+	b.Load("check").Result()
+	b.Return()
+	Done(b)
+
+	return main, nil
+}
+
+// --- luindex ----------------------------------------------------------------
+//
+// Text-indexing shape: tokenize generated documents into terms held in
+// a chained hash index; every term occurrence appends to a per-term
+// postings array (growable int[]). Term objects and their postings are
+// a large co-allocation population (the paper counts many co-allocated
+// objects for luindex).
+const (
+	luBuckets  = 2048
+	luDocs     = 400
+	luDocTerms = 90
+	luTermLen  = 6
+	luVocab    = 6000 // distinct terms are drawn from a fixed vocabulary
+	luSeed     = 741852
+)
+
+func init() {
+	register("luindex", "text indexer: term hash with growable postings arrays",
+		7<<20, "Term::text", buildLuindex)
+}
+
+// buildTermIndex defines the Term class and the shared index methods
+// used by luindex and lusearch.
+func buildTermIndex(l *Lib) (term *classfile.Class, addOcc, findTerm *classfile.Method,
+	tText, tPostings, tCount *classfile.Field) {
+	u := l.U
+	term = u.DefineClass("Term", nil)
+	tText = u.AddField(term, "text", kRef)
+	tPostings = u.AddField(term, "postings", kRef) // int[]
+	tCount = u.AddField(term, "count", kInt)
+	tNext := u.AddField(term, "next", kRef)
+
+	// findTerm(idx, s) -> Term or null.
+	findTerm = u.AddMethod(term, "findTerm", false, []classfile.Kind{kRef, kRef}, kRef)
+	b := l.B(findTerm)
+	b.BindArg(0, "idx").BindArg(1, "s")
+	b.Local("t", kRef)
+	b.Load("idx").Load("s").InvokeStatic(l.StrHash).Const(luBuckets - 1).And().ALoad(kRef).Store("t")
+	b.Label("walk")
+	b.Load("t").IfNull("miss")
+	b.Load("s").Load("t").GetField(tText).InvokeStatic(l.StrCmp).Const(0).If(bytecode.OpIfNE, "next")
+	b.Load("t").ReturnVal()
+	b.Label("next")
+	b.Load("t").GetField(tNext).Store("t")
+	b.Goto("walk")
+	b.Label("miss")
+	b.Null().ReturnVal()
+	Done(b)
+
+	// addOcc(idx, s, doc): find or create the term, append doc to its
+	// postings (doubling the array when full — fresh int[] churn).
+	addOcc = u.AddMethod(term, "addOcc", false, []classfile.Kind{kRef, kRef, kInt}, kVoid)
+	b = l.B(addOcc)
+	b.BindArg(0, "idx").BindArg(1, "s").BindArg(2, "doc")
+	b.Local("t", kRef)
+	b.Local("h", kInt)
+	b.Local("np", kRef)
+	b.Local("i", kInt)
+	b.Load("idx").Load("s").InvokeStatic(findTerm).Store("t")
+	b.Load("t").IfNonNull("append")
+	b.New(term).Store("t")
+	b.Load("t").Load("s").PutField(tText)
+	b.Load("t").Const(4).NewArray(l.U.IntArray).PutField(tPostings)
+	b.Load("s").InvokeStatic(l.StrHash).Const(luBuckets - 1).And().Store("h")
+	b.Load("t").Load("idx").Load("h").ALoad(kRef).PutField(tNext)
+	b.Load("idx").Load("h").Load("t").AStore(kRef)
+	b.Label("append")
+	b.Load("t").GetField(tCount).Load("t").GetField(tPostings).ArrayLen().If(bytecode.OpIfLT, "slot")
+	// grow postings
+	b.Load("t").GetField(tPostings).ArrayLen().Const(2).Mul().NewArray(l.U.IntArray).Store("np")
+	b.Const(0).Store("i")
+	b.Label("cp")
+	b.Load("i").Load("t").GetField(tCount).If(bytecode.OpIfGE, "swap")
+	b.Load("np").Load("i").Load("t").GetField(tPostings).Load("i").ALoad(kInt).AStore(kInt)
+	b.Inc("i", 1)
+	b.Goto("cp")
+	b.Label("swap")
+	b.Load("t").Load("np").PutField(tPostings)
+	b.Label("slot")
+	b.Load("t").GetField(tPostings).Load("t").GetField(tCount).Load("doc").AStore(kInt)
+	b.Load("t").Load("t").GetField(tCount).Const(1).Add().PutField(tCount)
+	b.Return()
+	Done(b)
+	return
+}
+
+// vocabTerm emits bytecode that pushes a vocabulary term String for the
+// value on top of the stack... (helper kept simple: terms are generated
+// by seeding a Rand with the term id).
+func buildLuindex(l *Lib) (*classfile.Method, []int64) {
+	u := l.U
+	term, addOcc, findTerm, _, _, tCount := buildTermIndex(l)
+	_ = term
+
+	// termStr(id) -> String: deterministic term text for a vocabulary
+	// id (a tiny Rand seeded by the id).
+	termStr := u.AddMethod(term, "termStr", false, []classfile.Kind{kInt}, kRef)
+	b := l.B(termStr)
+	b.BindArg(0, "id")
+	b.Load("id").Const(7).Mul().Const(luSeed).Add().InvokeStatic(l.NewRand).
+		Const(luTermLen).InvokeStatic(l.RandStr).ReturnVal()
+	Done(b)
+
+	main := l.Entry("LuindexMain")
+	b = l.B(main)
+	b.Local("rand", kRef)
+	b.Local("idx", kRef)
+	b.Local("doc", kInt)
+	b.Local("i", kInt)
+	b.Local("check", kInt)
+	b.Local("t", kRef)
+	b.Const(luSeed).InvokeStatic(l.NewRand).Store("rand")
+	b.Const(luBuckets).NewArray(u.RefArray).Store("idx")
+	b.Label("docs")
+	b.Load("doc").Const(luDocs).If(bytecode.OpIfGE, "verify")
+	b.Const(0).Store("i")
+	b.Label("terms")
+	b.Load("i").Const(luDocTerms).If(bytecode.OpIfGE, "docnext")
+	// Zipf-ish skew: square the draw so low vocabulary ids dominate.
+	b.Load("idx").
+		Load("rand").InvokeVirtual(l.RandNext).Const(luVocab).Rem().
+		Load("rand").InvokeVirtual(l.RandNext).Const(luVocab).Rem().
+		Mul().Const(luVocab).Rem().InvokeStatic(termStr).
+		Load("doc").InvokeStatic(addOcc)
+	b.Inc("i", 1)
+	b.Goto("terms")
+	b.Label("docnext")
+	b.Inc("doc", 1)
+	b.Goto("docs")
+	// Verify: sum counts over the vocabulary.
+	b.Label("verify")
+	b.Const(0).Store("i")
+	b.Label("vloop")
+	b.Load("i").Const(luVocab).If(bytecode.OpIfGE, "done")
+	b.Load("idx").Load("i").InvokeStatic(termStr).InvokeStatic(findTerm).Store("t")
+	b.Load("t").IfNull("vnext")
+	b.Load("check").Load("t").GetField(tCount).Add().Store("check")
+	b.Label("vnext")
+	b.Inc("i", 1)
+	b.Goto("vloop")
+	b.Label("done")
+	b.Load("check").Result()
+	b.Return()
+	Done(b)
+
+	return main, []int64{luDocs * luDocTerms}
+}
+
+// --- lusearch ---------------------------------------------------------------
+//
+// Search shape: build the same term index once, then run many queries
+// that look up terms and fold their postings — read-dominated pointer
+// chasing with per-query probe-string churn.
+const (
+	lusQueries = 24000
+	lusSeed    = 852963
+)
+
+func init() {
+	register("lusearch", "text search: query lookups folding postings lists",
+		7<<20, "Term::postings", buildLusearch)
+}
+
+func buildLusearch(l *Lib) (*classfile.Method, []int64) {
+	u := l.U
+	term, addOcc, findTerm, _, tPostings, tCount := buildTermIndex(l)
+
+	termStr := u.AddMethod(term, "termStr", false, []classfile.Kind{kInt}, kRef)
+	b := l.B(termStr)
+	b.BindArg(0, "id")
+	b.Load("id").Const(7).Mul().Const(luSeed).Add().InvokeStatic(l.NewRand).
+		Const(luTermLen).InvokeStatic(l.RandStr).ReturnVal()
+	Done(b)
+
+	main := l.Entry("LusearchMain")
+	b = l.B(main)
+	b.Local("rand", kRef)
+	b.Local("idx", kRef)
+	b.Local("doc", kInt)
+	b.Local("i", kInt)
+	b.Local("q", kInt)
+	b.Local("t", kRef)
+	b.Local("acc", kInt)
+	b.Local("check", kInt)
+	b.Const(lusSeed).InvokeStatic(l.NewRand).Store("rand")
+	b.Const(luBuckets).NewArray(u.RefArray).Store("idx")
+	// Index build (smaller than luindex).
+	b.Label("docs")
+	b.Load("doc").Const(luDocs/2).If(bytecode.OpIfGE, "search")
+	b.Const(0).Store("i")
+	b.Label("terms")
+	b.Load("i").Const(luDocTerms).If(bytecode.OpIfGE, "docnext")
+	b.Load("idx").
+		Load("rand").InvokeVirtual(l.RandNext).Const(luVocab).Rem().
+		Load("rand").InvokeVirtual(l.RandNext).Const(luVocab).Rem().
+		Mul().Const(luVocab).Rem().InvokeStatic(termStr).
+		Load("doc").InvokeStatic(addOcc)
+	b.Inc("i", 1)
+	b.Goto("terms")
+	b.Label("docnext")
+	b.Inc("doc", 1)
+	b.Goto("docs")
+	// Query loop.
+	b.Label("search")
+	b.Const(0).Store("q")
+	b.Label("qloop")
+	b.Load("q").Const(lusQueries).If(bytecode.OpIfGE, "done")
+	b.Load("idx").
+		Load("rand").InvokeVirtual(l.RandNext).Const(luVocab).Rem().InvokeStatic(termStr).
+		InvokeStatic(findTerm).Store("t")
+	b.Load("t").IfNull("qnext")
+	b.Const(0).Store("acc")
+	b.Const(0).Store("i")
+	b.Label("fold")
+	b.Load("i").Load("t").GetField(tCount).If(bytecode.OpIfGE, "qsum")
+	b.Load("acc").Load("t").GetField(tPostings).Load("i").ALoad(kInt).Add().Store("acc")
+	b.Inc("i", 1)
+	b.Goto("fold")
+	b.Label("qsum")
+	b.Load("check").Load("acc").Add().Const(0xFFFFFFF).And().Store("check")
+	// Per-query scorer scratch (Lucene allocates per-query collector
+	// state): nursery churn during the read phase.
+	b.Const(16).NewArray(u.IntArray).Pop()
+	b.Label("qnext")
+	b.Inc("q", 1)
+	b.Goto("qloop")
+	b.Label("done")
+	b.Load("check").Result()
+	b.Return()
+	Done(b)
+
+	return main, nil
+}
+
+// --- pmd --------------------------------------------------------------------
+//
+// Source-analysis shape: an AST of typed nodes with name strings; rule
+// passes traverse the tree collecting violation objects, and subtree
+// rewrites keep the heap changing between passes.
+const (
+	pmdDepth  = 7
+	pmdFanout = 4
+	pmdRules  = 6
+	pmdRounds = 5
+	pmdSeed   = 123321
+)
+
+func init() {
+	register("pmd", "static analysis: AST rule traversals with violation churn",
+		6<<20, "ASTNode::name", buildPmd)
+}
+
+func buildPmd(l *Lib) (*classfile.Method, []int64) {
+	u := l.U
+	node := u.DefineClass("ASTNode", nil)
+	nKids := u.AddField(node, "kids", kRef)
+	nType := u.AddField(node, "type", kInt)
+	nName := u.AddField(node, "name", kRef)
+	viol := u.DefineClass("Violation", nil)
+	vNode := u.AddField(viol, "node", kRef)
+	vRule := u.AddField(viol, "rule", kInt)
+
+	// build(rand, depth) -> ASTNode
+	build := u.AddMethod(node, "build", false, []classfile.Kind{kRef, kInt}, kRef)
+	b := l.B(build)
+	b.BindArg(0, "rand").BindArg(1, "depth")
+	b.Local("n", kRef)
+	b.Local("i", kInt)
+	b.New(node).Store("n")
+	b.Load("n").Load("rand").InvokeVirtual(l.RandNext).Const(24).Rem().PutField(nType)
+	b.Load("n").Load("rand").Const(7).InvokeStatic(l.RandStr).PutField(nName)
+	b.Load("depth").Const(0).If(bytecode.OpIfGT, "inner")
+	b.Load("n").ReturnVal()
+	b.Label("inner")
+	b.Load("n").Const(pmdFanout).NewArray(u.RefArray).PutField(nKids)
+	b.Label("kid")
+	b.Load("i").Const(pmdFanout).If(bytecode.OpIfGE, "fin")
+	b.Load("n").GetField(nKids).Load("i").
+		Load("rand").Load("depth").Const(1).Sub().InvokeStatic(build).AStore(kRef)
+	b.Inc("i", 1)
+	b.Goto("kid")
+	b.Label("fin")
+	b.Load("n").ReturnVal()
+	Done(b)
+
+	// apply(n, rule, out) -> int: DFS; a node violates the rule when
+	// type % rules == rule and its name starts beyond 'm'.
+	apply := u.AddMethod(node, "apply", false, []classfile.Kind{kRef, kInt, kRef}, kInt)
+	b = l.B(apply)
+	b.BindArg(0, "n").BindArg(1, "rule").BindArg(2, "out")
+	b.Local("cnt", kInt)
+	b.Local("i", kInt)
+	b.Local("v", kRef)
+	b.Load("n").GetField(nType).Const(pmdRules).Rem().Load("rule").If(bytecode.OpIfNE, "kids")
+	b.Load("n").GetField(nName).GetField(l.StrValue).Const(0).ALoad(kChar).Const('m').If(bytecode.OpIfLE, "kids")
+	b.New(viol).Store("v")
+	b.Load("v").Load("n").PutField(vNode)
+	b.Load("v").Load("rule").PutField(vRule)
+	b.Load("out").Load("v").InvokeVirtual(l.VecAdd)
+	b.Const(1).Store("cnt")
+	b.Label("kids")
+	b.Load("n").GetField(nKids).IfNull("done")
+	b.Label("loop")
+	b.Load("i").Const(pmdFanout).If(bytecode.OpIfGE, "done")
+	b.Load("cnt").
+		Load("n").GetField(nKids).Load("i").ALoad(kRef).Load("rule").Load("out").InvokeStatic(apply).
+		Add().Store("cnt")
+	b.Inc("i", 1)
+	b.Goto("loop")
+	b.Label("done")
+	b.Load("cnt").ReturnVal()
+	Done(b)
+
+	main := l.Entry("PmdMain")
+	b = l.B(main)
+	b.Local("rand", kRef)
+	b.Local("root", kRef)
+	b.Local("round", kInt)
+	b.Local("r", kInt)
+	b.Local("out", kRef)
+	b.Local("check", kInt)
+	b.Const(pmdSeed).InvokeStatic(l.NewRand).Store("rand")
+	b.Load("rand").Const(pmdDepth).InvokeStatic(build).Store("root")
+	b.Label("rounds")
+	b.Load("round").Const(pmdRounds).If(bytecode.OpIfGE, "done")
+	b.Const(0).Store("r")
+	b.Label("rloop")
+	b.Load("r").Const(pmdRules).If(bytecode.OpIfGE, "mutate")
+	b.Const(64).InvokeStatic(l.VecNew).Store("out")
+	b.Load("check").
+		Load("root").Load("r").Load("out").InvokeStatic(apply).
+		Add().Const(0xFFFFFFF).And().Store("check")
+	b.Inc("r", 1)
+	b.Goto("rloop")
+	b.Label("mutate")
+	// Rebuild a random child subtree (churn).
+	b.Load("root").GetField(nKids).
+		Load("rand").InvokeVirtual(l.RandNext).Const(pmdFanout).Rem().
+		Load("rand").Const(pmdDepth - 2).InvokeStatic(build).AStore(kRef)
+	b.Inc("round", 1)
+	b.Goto("rounds")
+	b.Label("done")
+	b.Load("check").Result()
+	b.Return()
+	Done(b)
+
+	return main, nil
+}

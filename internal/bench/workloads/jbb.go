@@ -1,0 +1,174 @@
+package workloads
+
+import (
+	"hpmvm/internal/vm/bytecode"
+	"hpmvm/internal/vm/classfile"
+)
+
+// pseudojbb: SPEC JBB2000 with a fixed transaction count (Table 1:
+// n=100000 scaled down). Warehouses hold districts; each transaction
+// creates an Order whose line-item array is larger than a cache line
+// (the paper: "many frequently missed objects ... relatively large
+// long[] arrays with a size of >128 bytes. As a consequence,
+// optimizing for reduced cache misses at the cache-line level does not
+// yield a significant benefit"), so pseudojbb co-allocates a lot but
+// gains little.
+const (
+	jbbWarehouses = 5
+	jbbDistricts  = 10
+	jbbOrderLines = 20  // 20*8 = 160 bytes of line items (> 1 cache line)
+	jbbKeepOrders = 120 // orders retained per district (FIFO)
+	jbbTxns       = 20000
+	jbbNameLen    = 8
+	jbbSeed       = 990011
+)
+
+func init() {
+	register("pseudojbb", "TPC-C-style order processing with >128B line-item arrays",
+		8<<20, "Order::lines", buildJBB)
+}
+
+func buildJBB(l *Lib) (*classfile.Method, []int64) {
+	u := l.U
+	order := u.DefineClass("Order", nil)
+	oLines := u.AddField(order, "lines", kRef) // int[]
+	oCust := u.AddField(order, "customer", kRef)
+	oTotal := u.AddField(order, "total", kInt)
+
+	district := u.DefineClass("District", nil)
+	dOrders := u.AddField(district, "orders", kRef) // ref[] ring buffer
+	dHead := u.AddField(district, "head", kInt)
+	dYTD := u.AddField(district, "ytd", kInt)
+
+	warehouse := u.DefineClass("Warehouse", nil)
+	wDists := u.AddField(warehouse, "districts", kRef) // ref[]
+	wName := u.AddField(warehouse, "name", kRef)
+
+	// newOrder(rand) -> Order: line items filled from the LCG.
+	newOrder := u.AddMethod(order, "newOrder", false, []classfile.Kind{kRef}, kRef)
+	b := l.B(newOrder)
+	b.BindArg(0, "rand")
+	b.Local("o", kRef)
+	b.Local("ln", kRef)
+	b.Local("i", kInt)
+	b.Local("tot", kInt)
+	b.New(order).Store("o")
+	b.Const(jbbOrderLines).NewArray(u.IntArray).Store("ln")
+	b.Label("fill")
+	b.Load("i").Const(jbbOrderLines).If(bytecode.OpIfGE, "fin")
+	b.Load("ln").Load("i").Load("rand").InvokeVirtual(l.RandNext).Const(1000).Rem().AStore(kInt)
+	b.Load("tot").Load("ln").Load("i").ALoad(kInt).Add().Store("tot")
+	b.Inc("i", 1)
+	b.Goto("fill")
+	b.Label("fin")
+	b.Load("o").Load("ln").PutField(oLines)
+	b.Load("o").Load("rand").Const(jbbNameLen).InvokeStatic(l.RandStr).PutField(oCust)
+	b.Load("o").Load("tot").PutField(oTotal)
+	b.Load("o").ReturnVal()
+	Done(b)
+
+	// orderTotal(o) -> int: re-sum the line items (reads through
+	// Order::lines — the access path the monitor charges).
+	orderTotal := u.AddMethod(order, "orderTotal", false, []classfile.Kind{kRef}, kInt)
+	b = l.B(orderTotal)
+	b.BindArg(0, "o")
+	b.Local("i", kInt)
+	b.Local("t", kInt)
+	b.Label("sum")
+	b.Load("i").Load("o").GetField(oLines).ArrayLen().If(bytecode.OpIfGE, "done")
+	b.Load("t").Load("o").GetField(oLines).Load("i").ALoad(kInt).Add().Store("t")
+	b.Inc("i", 1)
+	b.Goto("sum")
+	b.Label("done")
+	b.Load("t").ReturnVal()
+	Done(b)
+
+	main := l.Entry("JBBMain")
+	b = l.B(main)
+	b.Local("rand", kRef)
+	b.Local("whs", kRef) // ref[] of warehouses
+	b.Local("w", kRef)
+	b.Local("d", kRef)
+	b.Local("i", kInt)
+	b.Local("j", kInt)
+	b.Local("t", kInt)
+	b.Local("o", kRef)
+	b.Local("check", kInt)
+	b.Local("h", kInt)
+
+	b.Const(jbbSeed).InvokeStatic(l.NewRand).Store("rand")
+	b.Const(jbbWarehouses).NewArray(u.RefArray).Store("whs")
+	// Setup warehouses and districts with pre-filled order rings.
+	b.Const(0).Store("i")
+	b.Label("mkw")
+	b.Load("i").Const(jbbWarehouses).If(bytecode.OpIfGE, "run")
+	b.New(warehouse).Store("w")
+	b.Load("w").Load("rand").Const(jbbNameLen).InvokeStatic(l.RandStr).PutField(wName)
+	b.Load("w").Const(jbbDistricts).NewArray(u.RefArray).PutField(wDists)
+	b.Const(0).Store("j")
+	b.Label("mkd")
+	b.Load("j").Const(jbbDistricts).If(bytecode.OpIfGE, "wdone")
+	b.New(district).Store("d")
+	b.Load("d").Const(jbbKeepOrders).NewArray(u.RefArray).PutField(dOrders)
+	// Pre-fill the ring so every slot holds an order.
+	b.Const(0).Store("t")
+	b.Label("pref")
+	b.Load("t").Const(jbbKeepOrders).If(bytecode.OpIfGE, "dstore")
+	b.Load("d").GetField(dOrders).Load("t").Load("rand").InvokeStatic(newOrder).AStore(kRef)
+	b.Inc("t", 1)
+	b.Goto("pref")
+	b.Label("dstore")
+	b.Load("w").GetField(wDists).Load("j").Load("d").AStore(kRef)
+	b.Inc("j", 1)
+	b.Goto("mkd")
+	b.Label("wdone")
+	b.Load("whs").Load("i").Load("w").AStore(kRef)
+	b.Inc("i", 1)
+	b.Goto("mkw")
+	// Transaction loop: pick warehouse/district, replace the oldest
+	// order with a new one, and account the displaced order's total
+	// (recomputed through Order::lines).
+	b.Label("run")
+	b.Const(0).Store("i")
+	b.Label("tx")
+	b.Load("i").Const(jbbTxns).If(bytecode.OpIfGE, "report")
+	b.Load("whs").Load("rand").InvokeVirtual(l.RandNext).Const(jbbWarehouses).Rem().ALoad(kRef).Store("w")
+	b.Load("w").GetField(wDists).Load("rand").InvokeVirtual(l.RandNext).Const(jbbDistricts).Rem().ALoad(kRef).Store("d")
+	b.Load("d").GetField(dHead).Store("t")
+	// Displaced order's recomputed total goes into the district YTD.
+	b.Load("d").GetField(dOrders).Load("t").ALoad(kRef).Store("o")
+	b.Load("d").Load("d").GetField(dYTD).Load("o").InvokeStatic(orderTotal).Add().
+		Const(0xFFFFFFF).And().PutField(dYTD)
+	b.Load("d").GetField(dOrders).Load("t").Load("rand").InvokeStatic(newOrder).AStore(kRef)
+	b.Load("d").Load("t").Const(1).Add().Const(jbbKeepOrders).Rem().PutField(dHead)
+	b.Inc("i", 1)
+	b.Goto("tx")
+	// Report: combine district YTDs and a customer-name hash.
+	b.Label("report")
+	b.Const(0).Store("check")
+	b.Const(0).Store("i")
+	b.Label("rw")
+	b.Load("i").Const(jbbWarehouses).If(bytecode.OpIfGE, "emit")
+	b.Load("whs").Load("i").ALoad(kRef).Store("w")
+	b.Const(0).Store("j")
+	b.Label("rd")
+	b.Load("j").Const(jbbDistricts).If(bytecode.OpIfGE, "rwnext")
+	b.Load("w").GetField(wDists).Load("j").ALoad(kRef).Store("d")
+	b.Load("check").Load("d").GetField(dYTD).Add().Const(0xFFFFFFF).And().Store("check")
+	// Hash the newest order's customer in this district.
+	b.Load("d").GetField(dOrders).Const(0).ALoad(kRef).Store("o")
+	b.Load("h").Const(31).Mul().Load("o").GetField(oCust).InvokeStatic(l.StrHash).Add().
+		Const(0xFFFFFFF).And().Store("h")
+	b.Inc("j", 1)
+	b.Goto("rd")
+	b.Label("rwnext")
+	b.Inc("i", 1)
+	b.Goto("rw")
+	b.Label("emit")
+	b.Load("check").Result()
+	b.Load("h").Result()
+	b.Return()
+	Done(b)
+
+	return main, nil
+}

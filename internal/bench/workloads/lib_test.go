@@ -1,0 +1,160 @@
+package workloads
+
+import (
+	"testing"
+
+	"hpmvm/internal/vm/bytecode"
+	"hpmvm/internal/vm/vmtest"
+)
+
+// libHarness builds a main that exercises the shared class library and
+// returns the result log under both compilers.
+func libHarness(t *testing.T, emit func(l *Lib, b *bytecode.Builder)) []int64 {
+	t.Helper()
+	var ref []int64
+	for _, level := range []int{0, 2} {
+		l := NewLib()
+		main := l.Entry("LibT")
+		b := l.B(main)
+		emit(l, b)
+		b.Return()
+		Done(b)
+		l.U.Layout()
+		var plan map[int]int // runtime.CompilePlan
+		if level > 0 {
+			plan = vmtest.AllOpt(l.U, level)
+		}
+		got, _, err := vmtest.Run(l.U, main, vmtest.Options{Plan: plan})
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if ref == nil {
+			ref = got
+		} else {
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("level %d diverges at %d: %d vs %d", level, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+	return ref
+}
+
+// mkString emits code pushing a String with the given ASCII content.
+func mkString(l *Lib, b *bytecode.Builder, tmpArr, tmpStr string, s string) {
+	b.Const(int64(len(s))).NewArray(l.U.CharArray).Store(tmpArr)
+	for i := 0; i < len(s); i++ {
+		b.Load(tmpArr).Const(int64(i)).Const(int64(s[i])).AStore(kChar)
+	}
+	b.New(l.String).Store(tmpStr)
+	b.Load(tmpStr).Load(tmpArr).PutField(l.StrValue)
+	b.Load(tmpStr)
+}
+
+func TestLibStrCmpEdgeCases(t *testing.T) {
+	sign := func(x int64) int64 {
+		switch {
+		case x < 0:
+			return -1
+		case x > 0:
+			return 1
+		}
+		return 0
+	}
+	cases := []struct {
+		a, b string
+		want int64 // sign of comparison
+	}{
+		{"abc", "abc", 0},
+		{"abc", "abd", -1},
+		{"abd", "abc", 1},
+		{"ab", "abc", -1}, // prefix: length decides
+		{"abc", "ab", 1},
+		{"", "", 0},
+		{"", "a", -1},
+		{"zzz", "aaa", 1},
+	}
+	for _, c := range cases {
+		got := libHarness(t, func(l *Lib, b *bytecode.Builder) {
+			b.Local("arr", kRef)
+			b.Local("s", kRef)
+			b.Local("x", kRef)
+			b.Local("y", kRef)
+			mkString(l, b, "arr", "s", c.a)
+			b.Store("x")
+			mkString(l, b, "arr", "s", c.b)
+			b.Store("y")
+			b.Load("x").Load("y").InvokeStatic(l.StrCmp).Result()
+		})
+		if sign(got[0]) != c.want {
+			t.Errorf("strCmp(%q,%q) = %d, want sign %d", c.a, c.b, got[0], c.want)
+		}
+	}
+}
+
+func TestLibStrHashMatchesGo(t *testing.T) {
+	for _, s := range []string{"", "a", "hello", "abcdefghij"} {
+		got := libHarness(t, func(l *Lib, b *bytecode.Builder) {
+			b.Local("arr", kRef)
+			b.Local("sv", kRef)
+			mkString(l, b, "arr", "sv", s)
+			b.InvokeStatic(l.StrHash).Result()
+		})
+		if got[0] != goStrHash(s) {
+			t.Errorf("strHash(%q) = %d, want %d", s, got[0], goStrHash(s))
+		}
+	}
+}
+
+func TestLibVectorGrowth(t *testing.T) {
+	// Adding far beyond the initial capacity must preserve order and
+	// identity of all elements.
+	got := libHarness(t, func(l *Lib, b *bytecode.Builder) {
+		b.Local("v", kRef)
+		b.Local("i", kInt)
+		b.Local("n", kRef)
+		b.Const(2).InvokeStatic(l.VecNew).Store("v")
+		b.Label("add")
+		b.Load("i").Const(100).If(bytecode.OpIfGE, "check")
+		b.New(l.Rand).Store("n")
+		b.Load("n").Load("i").PutField(l.RandSeed)
+		b.Load("v").Load("n").InvokeVirtual(l.VecAdd)
+		b.Inc("i", 1)
+		b.Goto("add")
+		b.Label("check")
+		b.Load("v").InvokeVirtual(l.VecLen).Result()
+		// Sum the seeds back out through get().
+		b.Const(0).Store("i")
+		b.Local("sum", kInt)
+		b.Label("rd")
+		b.Load("i").Const(100).If(bytecode.OpIfGE, "done")
+		b.Load("sum").Load("v").Load("i").InvokeVirtual(l.VecGet).GetField(l.RandSeed).Add().Store("sum")
+		b.Inc("i", 1)
+		b.Goto("rd")
+		b.Label("done")
+		b.Load("sum").Result()
+	})
+	if got[0] != 100 {
+		t.Errorf("size = %d", got[0])
+	}
+	if got[1] != 100*99/2 {
+		t.Errorf("sum = %d, want %d", got[1], 100*99/2)
+	}
+}
+
+func TestLibRandMatchesMirror(t *testing.T) {
+	got := libHarness(t, func(l *Lib, b *bytecode.Builder) {
+		b.Local("r", kRef)
+		b.Const(424242).InvokeStatic(l.NewRand).Store("r")
+		for i := 0; i < 5; i++ {
+			b.Load("r").InvokeVirtual(l.RandNext).Result()
+		}
+	})
+	r := &goRand{seed: 424242}
+	for i := 0; i < 5; i++ {
+		if want := r.next(); got[i] != want {
+			t.Fatalf("next #%d = %d, want %d", i, got[i], want)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package workloads
+
+import (
+	"testing"
+
+	"hpmvm/internal/bench"
+)
+
+// TestEachWorkloadQuick runs every registered workload once at default
+// config (opt level 2, GenMS, no monitoring) and reports basic stats.
+func TestEachWorkloadQuick(t *testing.T) {
+	for _, name := range bench.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res := runOne(t, name, bench.RunConfig{})
+			t.Logf("%-10s cycles=%11d instr=%10d L1=%9d L2=%8d minor=%2d major=%2d results=%v",
+				name, res.Cycles, res.Instret, res.Cache.L1Misses, res.Cache.L2Misses,
+				res.MinorGCs, res.MajorGCs, res.Results)
+		})
+	}
+}

@@ -1,0 +1,366 @@
+package workloads
+
+import (
+	"hpmvm/internal/vm/bytecode"
+	"hpmvm/internal/vm/classfile"
+)
+
+// Remaining SPECjvm98 analogues: jess, mtrt, jack.
+
+// --- jess -------------------------------------------------------------------
+//
+// Rule-engine shape: a working memory of fact objects in per-slot
+// linked lists; repeated match passes compare fact slots against rule
+// patterns (String compares) and allocate short-lived activation
+// tokens.
+const (
+	jessFacts  = 2000
+	jessRules  = 32
+	jessPasses = 12
+	jessStrLen = 8
+	jessSeed   = 515151
+)
+
+func init() {
+	register("jess", "rule engine: fact matching with activation churn",
+		5<<20, "Fact::slot0", buildJess)
+}
+
+func buildJess(l *Lib) (*classfile.Method, []int64) {
+	u := l.U
+	fact := u.DefineClass("Fact", nil)
+	fSlot0 := u.AddField(fact, "slot0", kRef)
+	fSlot1 := u.AddField(fact, "slot1", kRef)
+	fNext := u.AddField(fact, "next", kRef)
+	token := u.DefineClass("Token", nil)
+	tFact := u.AddField(token, "fact", kRef)
+	tRule := u.AddField(token, "rule", kInt)
+
+	main := l.Entry("JessMain")
+	b := l.B(main)
+	b.Local("rand", kRef)
+	b.Local("wm", kRef)    // head of fact list
+	b.Local("rules", kRef) // Vector of rule pattern Strings
+	b.Local("agenda", kRef)
+	b.Local("i", kInt)
+	b.Local("p", kInt)
+	b.Local("r", kInt)
+	b.Local("f", kRef)
+	b.Local("t", kRef)
+	b.Local("check", kInt)
+
+	b.Const(jessSeed).InvokeStatic(l.NewRand).Store("rand")
+	// Working memory: linked list of facts with two string slots.
+	b.Label("mk")
+	b.Load("i").Const(jessFacts).If(bytecode.OpIfGE, "mkrules")
+	b.New(fact).Store("f")
+	b.Load("f").Load("rand").Const(jessStrLen).InvokeStatic(l.RandStr).PutField(fSlot0)
+	b.Load("f").Load("rand").Const(jessStrLen).InvokeStatic(l.RandStr).PutField(fSlot1)
+	b.Load("f").Load("wm").PutField(fNext)
+	b.Load("f").Store("wm")
+	b.Inc("i", 1)
+	b.Goto("mk")
+	b.Label("mkrules")
+	b.Const(jessRules).InvokeStatic(l.VecNew).Store("rules")
+	b.Const(0).Store("i")
+	b.Label("mkr2")
+	b.Load("i").Const(jessRules).If(bytecode.OpIfGE, "match")
+	b.Load("rules").Load("rand").Const(jessStrLen).InvokeStatic(l.RandStr).InvokeVirtual(l.VecAdd)
+	b.Inc("i", 1)
+	b.Goto("mkr2")
+	// Match passes: for each rule, walk the fact list; prefix-compare
+	// rule pattern vs slot0; matches allocate a Token onto a fresh
+	// agenda vector (per pass), and slot1 rotates into slot0 for a
+	// fraction of facts so the working memory keeps changing.
+	b.Label("match")
+	b.Const(0).Store("p")
+	b.Label("ploop")
+	b.Load("p").Const(jessPasses).If(bytecode.OpIfGE, "done")
+	b.Const(16).InvokeStatic(l.VecNew).Store("agenda")
+	b.Const(0).Store("r")
+	b.Label("rloop")
+	b.Load("r").Const(jessRules).If(bytecode.OpIfGE, "mutate")
+	b.Load("wm").Store("f")
+	b.Label("floop")
+	b.Load("f").IfNull("rnext")
+	// match if first char of pattern equals first char of slot0
+	b.Load("rules").Load("r").InvokeVirtual(l.VecGet).GetField(l.StrValue).Const(0).ALoad(kChar).
+		Load("f").GetField(fSlot0).GetField(l.StrValue).Const(0).ALoad(kChar).
+		If(bytecode.OpIfNE, "fnext")
+	b.New(token).Store("t")
+	b.Load("t").Load("f").PutField(tFact)
+	b.Load("t").Load("r").PutField(tRule)
+	b.Load("agenda").Load("t").InvokeVirtual(l.VecAdd)
+	b.Label("fnext")
+	b.Load("f").GetField(fNext).Store("f")
+	b.Goto("floop")
+	b.Label("rnext")
+	b.Inc("r", 1)
+	b.Goto("rloop")
+	// Fire: checksum agenda size; rotate slots of every 7th fact.
+	b.Label("mutate")
+	b.Load("check").Load("agenda").InvokeVirtual(l.VecLen).Add().Store("check")
+	b.Load("wm").Store("f")
+	b.Const(0).Store("i")
+	b.Label("mloop")
+	b.Load("f").IfNull("pnext")
+	b.Load("i").Const(7).Rem().Const(0).If(bytecode.OpIfNE, "mnext")
+	b.Load("f").Load("f").GetField(fSlot1).PutField(fSlot0)
+	b.Label("mnext")
+	b.Load("f").GetField(fNext).Store("f")
+	b.Inc("i", 1)
+	b.Goto("mloop")
+	b.Label("pnext")
+	b.Inc("p", 1)
+	b.Goto("ploop")
+	b.Label("done")
+	b.Load("check").Result()
+	b.Return()
+	Done(b)
+
+	return main, nil
+}
+
+// --- mtrt -------------------------------------------------------------------
+//
+// Ray-tracer shape: a scene of sphere objects; each ray performs an
+// integer intersection test against every sphere and allocates a
+// short-lived hit record. The live set is small (the paper sees little
+// co-allocation benefit here).
+const (
+	mtrtSpheres = 120
+	mtrtRays    = 6000
+	mtrtSeed    = 890123
+)
+
+func init() {
+	register("mtrt", "ray tracer: per-ray sphere intersection with hit-record churn",
+		3<<20, "", buildMtrt)
+}
+
+func buildMtrt(l *Lib) (*classfile.Method, []int64) {
+	u := l.U
+	sphere := u.DefineClass("Sphere", nil)
+	sx := u.AddField(sphere, "x", kInt)
+	sy := u.AddField(sphere, "y", kInt)
+	sz := u.AddField(sphere, "z", kInt)
+	sr := u.AddField(sphere, "r", kInt)
+	hit := u.DefineClass("Hit", nil)
+	hD := u.AddField(hit, "dist", kInt)
+	hS := u.AddField(hit, "sphere", kRef)
+
+	main := l.Entry("MtrtMain")
+	b := l.B(main)
+	b.Local("rand", kRef)
+	b.Local("scene", kRef)
+	b.Local("i", kInt)
+	b.Local("ray", kInt)
+	b.Local("rx", kInt)
+	b.Local("ry", kInt)
+	b.Local("rz", kInt)
+	b.Local("s", kRef)
+	b.Local("dx", kInt)
+	b.Local("dy", kInt)
+	b.Local("dz", kInt)
+	b.Local("d2", kInt)
+	b.Local("best", kRef)
+	b.Local("check", kInt)
+
+	b.Const(mtrtSeed).InvokeStatic(l.NewRand).Store("rand")
+	b.Const(mtrtSpheres).InvokeStatic(l.VecNew).Store("scene")
+	b.Label("mk")
+	b.Load("i").Const(mtrtSpheres).If(bytecode.OpIfGE, "trace")
+	b.New(sphere).Store("s")
+	b.Load("s").Load("rand").InvokeVirtual(l.RandNext).Const(1000).Rem().PutField(sx)
+	b.Load("s").Load("rand").InvokeVirtual(l.RandNext).Const(1000).Rem().PutField(sy)
+	b.Load("s").Load("rand").InvokeVirtual(l.RandNext).Const(1000).Rem().PutField(sz)
+	b.Load("s").Load("rand").InvokeVirtual(l.RandNext).Const(90).Rem().Const(10).Add().PutField(sr)
+	b.Load("scene").Load("s").InvokeVirtual(l.VecAdd)
+	b.Inc("i", 1)
+	b.Goto("mk")
+	b.Label("trace")
+	b.Const(0).Store("ray")
+	b.Label("rayloop")
+	b.Load("ray").Const(mtrtRays).If(bytecode.OpIfGE, "done")
+	b.Load("rand").InvokeVirtual(l.RandNext).Const(1000).Rem().Store("rx")
+	b.Load("rand").InvokeVirtual(l.RandNext).Const(1000).Rem().Store("ry")
+	b.Load("rand").InvokeVirtual(l.RandNext).Const(1000).Rem().Store("rz")
+	b.New(hit).Store("best")
+	b.Load("best").Const(1 << 40).PutField(hD)
+	b.Const(0).Store("i")
+	b.Label("sloop")
+	b.Load("i").Const(mtrtSpheres).If(bytecode.OpIfGE, "shade")
+	b.Load("scene").Load("i").InvokeVirtual(l.VecGet).Store("s")
+	b.Load("s").GetField(sx).Load("rx").Sub().Store("dx")
+	b.Load("s").GetField(sy).Load("ry").Sub().Store("dy")
+	b.Load("s").GetField(sz).Load("rz").Sub().Store("dz")
+	b.Load("dx").Load("dx").Mul().Load("dy").Load("dy").Mul().Add().
+		Load("dz").Load("dz").Mul().Add().
+		Load("s").GetField(sr).Load("s").GetField(sr).Mul().Sub().Store("d2")
+	b.Load("d2").Load("best").GetField(hD).If(bytecode.OpIfGE, "snext")
+	b.Load("best").Load("d2").PutField(hD)
+	b.Load("best").Load("s").PutField(hS)
+	b.Label("snext")
+	b.Inc("i", 1)
+	b.Goto("sloop")
+	b.Label("shade")
+	b.Load("best").GetField(hS).IfNull("raynext")
+	b.Load("check").
+		Load("best").GetField(hS).GetField(sr).Add().
+		Load("best").GetField(hD).Const(1023).And().Add().
+		Const(0xFFFFFFF).And().Store("check")
+	b.Label("raynext")
+	b.Inc("ray", 1)
+	b.Goto("rayloop")
+	b.Label("done")
+	b.Load("check").Result()
+	b.Return()
+	Done(b)
+
+	return main, mtrtExpected()
+}
+
+func mtrtExpected() []int64 {
+	type sph struct{ x, y, z, r int64 }
+	rnd := &goRand{seed: mtrtSeed}
+	scene := make([]sph, mtrtSpheres)
+	for i := range scene {
+		scene[i] = sph{rnd.next() % 1000, rnd.next() % 1000, rnd.next() % 1000, rnd.next()%90 + 10}
+	}
+	var check int64
+	for ray := 0; ray < mtrtRays; ray++ {
+		rx, ry, rz := rnd.next()%1000, rnd.next()%1000, rnd.next()%1000
+		bestD := int64(1) << 40
+		bestI := -1
+		for i, s := range scene {
+			dx, dy, dz := s.x-rx, s.y-ry, s.z-rz
+			d2 := dx*dx + dy*dy + dz*dz - s.r*s.r
+			if d2 < bestD {
+				bestD = d2
+				bestI = i
+			}
+		}
+		if bestI >= 0 {
+			check = (check + scene[bestI].r + (bestD & 1023)) & 0xFFFFFFF
+		}
+	}
+	return []int64{check}
+}
+
+// --- jack -------------------------------------------------------------------
+//
+// Parser-generator shape: repeated tokenization passes over a
+// generated character stream, each pass allocating Token objects
+// (String + char[] churn), then a structure check over token kinds.
+const (
+	jackInput  = 96 * 1024
+	jackPasses = 6
+	jackSeed   = 331144
+)
+
+func init() {
+	register("jack", "parser: repeated tokenization passes with token churn",
+		5<<20, "Token::text", buildJack)
+}
+
+func buildJack(l *Lib) (*classfile.Method, []int64) {
+	u := l.U
+	tok := u.DefineClass("Token", nil)
+	tText := u.AddField(tok, "text", kRef)
+	tKind := u.AddField(tok, "kind", kInt)
+
+	main := l.Entry("JackMain")
+	b := l.B(main)
+	b.Local("rand", kRef)
+	b.Local("in", kRef)
+	b.Local("i", kInt)
+	b.Local("p", kInt)
+	b.Local("toks", kRef)
+	b.Local("start", kInt)
+	b.Local("len", kInt)
+	b.Local("arr", kRef)
+	b.Local("s", kRef)
+	b.Local("t", kRef)
+	b.Local("j", kInt)
+	b.Local("depth", kInt)
+	b.Local("check", kInt)
+
+	b.Const(jackSeed).InvokeStatic(l.NewRand).Store("rand")
+	b.Const(jackInput).NewArray(u.CharArray).Store("in")
+	b.Label("fill")
+	b.Load("i").Const(jackInput).If(bytecode.OpIfGE, "parse")
+	// Characters: mostly letters, with '(' and ')' sprinkled in.
+	b.Load("rand").InvokeVirtual(l.RandNext).Const(30).Rem().Store("j")
+	b.Load("j").Const(26).If(bytecode.OpIfLT, "letter")
+	b.Load("j").Const(28).If(bytecode.OpIfLT, "open")
+	b.Load("in").Load("i").Const(')').AStore(kChar)
+	b.Goto("fnext")
+	b.Label("open")
+	b.Load("in").Load("i").Const('(').AStore(kChar)
+	b.Goto("fnext")
+	b.Label("letter")
+	b.Load("in").Load("i").Load("j").Const('a').Add().AStore(kChar)
+	b.Label("fnext")
+	b.Inc("i", 1)
+	b.Goto("fill")
+	// Tokenization passes.
+	b.Label("parse")
+	b.Const(0).Store("p")
+	b.Label("ploop")
+	b.Load("p").Const(jackPasses).If(bytecode.OpIfGE, "done")
+	b.Const(1024).InvokeStatic(l.VecNew).Store("toks")
+	b.Const(0).Store("i")
+	b.Label("scan")
+	b.Load("i").Const(jackInput).If(bytecode.OpIfGE, "structure")
+	// Token length 6..13 (or the rest of input).
+	b.Load("rand").InvokeVirtual(l.RandNext).Const(8).Rem().Const(6).Add().Store("len")
+	b.Load("i").Load("len").Add().Const(jackInput).If(bytecode.OpIfLE, "cut")
+	b.Const(jackInput).Load("i").Sub().Store("len")
+	b.Label("cut")
+	b.Load("i").Store("start")
+	b.Load("len").NewArray(u.CharArray).Store("arr")
+	b.Const(0).Store("j")
+	b.Label("copy")
+	b.Load("j").Load("len").If(bytecode.OpIfGE, "mktok")
+	b.Load("arr").Load("j").Load("in").Load("start").Load("j").Add().ALoad(kChar).AStore(kChar)
+	b.Inc("j", 1)
+	b.Goto("copy")
+	b.Label("mktok")
+	b.New(l.String).Store("s")
+	b.Load("s").Load("arr").PutField(l.StrValue)
+	b.New(tok).Store("t")
+	b.Load("t").Load("s").PutField(tText)
+	b.Load("t").Load("in").Load("start").ALoad(kChar).PutField(tKind)
+	b.Load("toks").Load("t").InvokeVirtual(l.VecAdd)
+	b.Load("i").Load("len").Add().Store("i")
+	b.Goto("scan")
+	// Structure pass: track paren depth via token kinds; hash some text.
+	b.Label("structure")
+	b.Const(0).Store("depth")
+	b.Const(0).Store("j")
+	b.Label("walk")
+	b.Load("j").Load("toks").InvokeVirtual(l.VecLen).If(bytecode.OpIfGE, "pnext")
+	b.Load("toks").Load("j").InvokeVirtual(l.VecGet).GetField(tKind).Const('(').If(bytecode.OpIfNE, "nclose")
+	b.Inc("depth", 1)
+	b.Label("nclose")
+	b.Load("toks").Load("j").InvokeVirtual(l.VecGet).GetField(tKind).Const(')').If(bytecode.OpIfNE, "hash")
+	b.Load("depth").Const(1).Sub().Store("depth")
+	b.Label("hash")
+	b.Load("j").Const(63).Rem().Const(0).If(bytecode.OpIfNE, "wnext")
+	b.Load("check").
+		Load("toks").Load("j").InvokeVirtual(l.VecGet).GetField(tText).InvokeStatic(l.StrHash).
+		Add().Const(0xFFFFFFF).And().Store("check")
+	b.Label("wnext")
+	b.Inc("j", 1)
+	b.Goto("walk")
+	b.Label("pnext")
+	b.Load("check").Load("depth").Add().Const(0xFFFFFFF).And().Store("check")
+	b.Inc("p", 1)
+	b.Goto("ploop")
+	b.Label("done")
+	b.Load("check").Result()
+	b.Return()
+	Done(b)
+
+	return main, nil
+}

@@ -1,0 +1,365 @@
+// Package coalloc implements the HPM-guided co-allocation policy of
+// §5: it ranks each class's reference fields by the cache misses the
+// monitor attributes to them, advises the GenMS collector which child
+// object to co-allocate with a promoted parent, and runs the online
+// effectiveness assessment of §5.3/Figure 8.
+//
+// The assessment exploits the precise association of miss events with
+// object placements ("the precise association of the miss events with
+// object types and references allows the VM to assess the effect of
+// individual optimization decisions"): every sampled miss whose data
+// address falls inside a co-allocated cell is attributed to that
+// cell's placement variant (adjacent vs gapped), and the policy
+// A/B-compares misses per pair between variants — a signal that is
+// robust against program phase changes, unlike a raw before/after rate
+// comparison. A rate-based fallback covers the case where only one
+// variant exists.
+package coalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"hpmvm/internal/gc/genms"
+	"hpmvm/internal/monitor"
+	"hpmvm/internal/stats"
+	"hpmvm/internal/vm/classfile"
+)
+
+// Config tunes the policy.
+type Config struct {
+	// MinSamples is the number of attributed samples a field needs
+	// before it is considered hot enough to drive co-allocation (a
+	// statistically meaningless single sample must not retune the GC).
+	MinSamples uint64
+
+	// Gap is the placement gap applied from activation on (normally 0;
+	// non-zero reproduces ablations where every pair is gapped).
+	Gap uint64
+
+	// GapAtCycle, when non-zero, is the Figure 8 manual intervention:
+	// once the cycle counter passes it, newly placed pairs of active
+	// fields get one cache line (GapBytes) of padding — "we then
+	// instructed the GC manually to place one cache line of empty
+	// space between the String and the char[] objects".
+	GapAtCycle uint64
+	// GapBytes is the padding used by the intervention (default 128).
+	GapBytes uint64
+
+	// Revert heuristic. With both placement variants observed, the
+	// policy reverts the gapped placement when gapped pairs attract
+	// more than ABRatio times the misses-per-pair of adjacent pairs
+	// (after MinABSamples variant-attributed samples). Without an A/B
+	// population, it falls back to comparing the field's miss rate
+	// against the rate at activation and reverts on a regression
+	// beyond RegressionFactor.
+	ABRatio          float64
+	MinABSamples     uint64
+	EvalPeriods      int
+	RegressionFactor float64
+
+	// RevertEnabled turns the online assessment on.
+	RevertEnabled bool
+
+	// Ranked enables the full §5.4 per-class candidate list: every
+	// sufficiently sampled reference field becomes a candidate, and
+	// the collector falls back from the hottest field to the next when
+	// a child is ineligible (already promoted, too large, ...). Off by
+	// default: the plain policy co-allocates only through the single
+	// hottest field per class, which is what the reported experiments
+	// use.
+	Ranked bool
+}
+
+// DefaultConfig returns the standard policy settings.
+func DefaultConfig() Config {
+	return Config{
+		MinSamples:       8,
+		Gap:              0,
+		GapBytes:         128,
+		ABRatio:          1.4,
+		MinABSamples:     12,
+		EvalPeriods:      6,
+		RegressionFactor: 2.5,
+		RevertEnabled:    true,
+	}
+}
+
+// fieldMode is the per-field placement state machine.
+type fieldMode int
+
+const (
+	modeIdle     fieldMode = iota // not yet hot
+	modeActive                    // co-allocating
+	modeDisabled                  // reverted entirely
+)
+
+func (m fieldMode) String() string {
+	switch m {
+	case modeIdle:
+		return "idle"
+	case modeActive:
+		return "active"
+	case modeDisabled:
+		return "disabled"
+	default:
+		return "?"
+	}
+}
+
+// fieldState tracks one reference field's decision history.
+type fieldState struct {
+	field *classfile.Field
+	mode  fieldMode
+	gap   uint64 // current placement gap for new pairs
+
+	baselineRate float64
+	activatedAt  int
+	pairsAdj     uint64
+	pairsGapped  uint64
+	reverts      int
+	// A/B sample marks: variant-attributed sample counts at the last
+	// placement change, so assessments use deltas that compare the
+	// same observation window.
+	abMarkAdj uint64
+	abMarkGap uint64
+}
+
+// Policy implements genms.Advisor over monitor feedback.
+type Policy struct {
+	cfg Config
+	mon *monitor.Monitor
+
+	byClass map[int]*fieldState
+	fields  map[int]*fieldState
+
+	intervened bool
+	events     []string
+}
+
+// New builds a policy and registers it as a monitor observer so its
+// state machine advances after every collector-thread poll.
+func New(mon *monitor.Monitor, cfg Config) *Policy {
+	if cfg.GapBytes == 0 {
+		cfg.GapBytes = 128
+	}
+	p := &Policy{
+		cfg:     cfg,
+		mon:     mon,
+		byClass: make(map[int]*fieldState),
+		fields:  make(map[int]*fieldState),
+	}
+	mon.AddObserver(p.observe)
+	return p
+}
+
+// HottestField implements genms.Advisor. Field states are registered
+// under the declaring class; instances of subclasses inherit the
+// decision.
+func (p *Policy) HottestField(cl *classfile.Class) (*classfile.Field, uint64) {
+	var st *fieldState
+	for c := cl; c != nil; c = c.Super {
+		if s := p.byClass[c.ID]; s != nil {
+			st = s
+			break
+		}
+	}
+	if st == nil || st.mode != modeActive {
+		return nil, 0
+	}
+	return st.field, st.gap
+}
+
+// RankedFields implements genms.RankedAdvisor: the per-class candidate
+// list of §5.4, hottest first. With Config.Ranked off it degenerates
+// to the single hottest field, preserving the plain policy's behavior.
+func (p *Policy) RankedFields(cl *classfile.Class) []genms.RankedField {
+	if !p.cfg.Ranked {
+		if f, gap := p.HottestField(cl); f != nil {
+			return []genms.RankedField{{Field: f, Gap: gap}}
+		}
+		return nil
+	}
+	var states []*fieldState
+	for _, st := range p.fields {
+		if st.mode != modeActive {
+			continue
+		}
+		for c := cl; c != nil; c = c.Super {
+			if st.field.Class == c {
+				states = append(states, st)
+				break
+			}
+		}
+	}
+	sort.Slice(states, func(i, j int) bool {
+		mi, mj := p.mon.FieldMisses(states[i].field), p.mon.FieldMisses(states[j].field)
+		if mi != mj {
+			return mi > mj
+		}
+		return states[i].field.ID < states[j].field.ID
+	})
+	out := make([]genms.RankedField, len(states))
+	for i, st := range states {
+		out[i] = genms.RankedField{Field: st.field, Gap: st.gap}
+	}
+	return out
+}
+
+// CoallocationPerformed implements genms.Advisor.
+func (p *Policy) CoallocationPerformed(f *classfile.Field, gap uint64) {
+	if st := p.fields[f.ID]; st != nil {
+		if gap > 0 {
+			st.pairsGapped++
+		} else {
+			st.pairsAdj++
+		}
+	}
+}
+
+// observe advances the policy after each monitor poll.
+func (p *Policy) observe(now uint64) {
+	// Activate newly hot fields.
+	for _, fc := range p.mon.HotFields() {
+		f := fc.Field
+		st := p.fields[f.ID]
+		if st == nil {
+			st = &fieldState{field: f}
+			p.fields[f.ID] = st
+		}
+		if st.mode == modeIdle && fc.Samples >= p.cfg.MinSamples {
+			cur := p.byClass[f.Class.ID]
+			top := cur == nil || p.mon.FieldMisses(f) > p.mon.FieldMisses(cur.field)
+			if top || p.cfg.Ranked {
+				st.mode = modeActive
+				st.gap = p.cfg.Gap
+				st.baselineRate = tailMean(&fc.RateSeries, p.cfg.EvalPeriods)
+				st.activatedAt = fc.RateSeries.Len()
+				if top {
+					p.byClass[f.Class.ID] = st
+				}
+				p.logf(now, "activate %s (gap %d, baseline rate %.0f misses/Mcycle)",
+					f.QualifiedName(), st.gap, st.baselineRate)
+			}
+		}
+	}
+
+	// Figure 8 manual intervention: force the pathological gap. The
+	// intervention stays pending until at least one active placement
+	// exists to apply it to.
+	if p.cfg.GapAtCycle > 0 && !p.intervened && now >= p.cfg.GapAtCycle {
+		for _, st := range p.fields {
+			if st.mode == modeActive && st.gap == 0 {
+				p.intervened = true
+				st.gap = p.cfg.GapBytes
+				if fc := p.mon.Field(st.field); fc != nil {
+					st.baselineRate = tailMean(&fc.RateSeries, p.cfg.EvalPeriods)
+					st.activatedAt = fc.RateSeries.Len()
+					st.abMarkAdj = fc.AdjacentSamples
+					st.abMarkGap = fc.GappedSamples
+				}
+				p.logf(now, "manual intervention: %d-byte gap forced for %s",
+					st.gap, st.field.QualifiedName())
+			}
+		}
+	}
+
+	if !p.cfg.RevertEnabled {
+		return
+	}
+	for _, st := range p.fields {
+		if st.mode != modeActive {
+			continue
+		}
+		fc := p.mon.Field(st.field)
+		if fc == nil {
+			continue
+		}
+		// A/B assessment between placement variants, over the window
+		// since the last placement change.
+		dAdj := fc.AdjacentSamples - st.abMarkAdj
+		dGap := fc.GappedSamples - st.abMarkGap
+		if st.gap > 0 && st.pairsAdj > 0 && st.pairsGapped > 0 &&
+			dAdj+dGap >= p.cfg.MinABSamples {
+			// Laplace smoothing: a well-placed pair population often
+			// produces zero samples (its child accesses hit — that is
+			// the point of co-allocation), and an absent denominator
+			// must not mask the signal.
+			perAdj := (float64(dAdj) + 0.5) / float64(st.pairsAdj)
+			perGap := float64(dGap) / float64(st.pairsGapped)
+			if perGap > perAdj*p.cfg.ABRatio {
+				st.gap = 0
+				st.reverts++
+				st.abMarkAdj = fc.AdjacentSamples
+				st.abMarkGap = fc.GappedSamples
+				p.logf(now, "revert %s: gapped pairs draw %.4f sampled misses/pair vs %.4f for adjacent — switching back to adjacent placement",
+					st.field.QualifiedName(), perGap, perAdj)
+				continue
+			}
+		}
+		// Rate-based fallback for gapped placements whose A/B
+		// comparison has no adjacent population (gap configured from
+		// the start): a gross rate regression drops the gap. Adjacent
+		// placements are never reverted on rate alone — a raw
+		// before/after rate comparison cannot distinguish a bad
+		// placement from a program phase change, and the paper reports
+		// no case where undoing a plain co-allocation was needed.
+		if st.gap == 0 || st.pairsGapped == 0 {
+			continue
+		}
+		elapsed := fc.RateSeries.Len() - st.activatedAt
+		if elapsed < p.cfg.EvalPeriods {
+			continue
+		}
+		current := tailMean(&fc.RateSeries, p.cfg.EvalPeriods)
+		if st.baselineRate > 0 && current > st.baselineRate*p.cfg.RegressionFactor {
+			st.reverts++
+			st.gap = 0
+			p.logf(now, "revert %s: rate %.0f vs baseline %.0f misses/Mcycle — dropping gap",
+				st.field.QualifiedName(), current, st.baselineRate)
+			st.baselineRate = current
+			st.activatedAt = fc.RateSeries.Len()
+		}
+	}
+}
+
+// tailMean averages the last n values of a series (its recent rate).
+func tailMean(s *stats.Series, n int) float64 {
+	vals := s.Values()
+	if len(vals) == 0 {
+		return 0
+	}
+	if len(vals) > n {
+		vals = vals[len(vals)-n:]
+	}
+	return stats.Mean(vals)
+}
+
+func (p *Policy) logf(now uint64, format string, args ...any) {
+	p.events = append(p.events, fmt.Sprintf("[cycle %d] %s", now, fmt.Sprintf(format, args...)))
+}
+
+// Events returns the decision log.
+func (p *Policy) Events() []string { return p.events }
+
+// Decision describes a field's current placement state.
+type Decision struct {
+	Field   *classfile.Field
+	Mode    string
+	Gap     uint64
+	Pairs   uint64
+	Reverts int
+}
+
+// Decisions lists the per-field states in field order.
+func (p *Policy) Decisions() []Decision {
+	var out []Decision
+	for _, st := range p.fields {
+		out = append(out, Decision{
+			Field: st.field, Mode: st.mode.String(), Gap: st.gap,
+			Pairs: st.pairsAdj + st.pairsGapped, Reverts: st.reverts,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Field.ID < out[j].Field.ID })
+	return out
+}

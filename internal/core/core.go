@@ -1,0 +1,251 @@
+// Package core is the public façade of the reproduction: it wires the
+// simulated Pentium 4 (CPU, caches, PEBS), the perfmon kernel module,
+// the VM (compilers, AOS, runtime), a garbage collector, the HPM
+// monitor and the co-allocation policy into one configurable System —
+// the "dynamic compiler+runtime environment that incorporates
+// machine-level information as an additional kind of feedback" the
+// paper describes.
+//
+// Typical use:
+//
+//	sys := core.NewSystem(universe, core.Options{...})
+//	sys.Boot(plan, materialize)
+//	err := sys.Run(entry, 0)
+//	fmt.Println(sys.VM.Results(), sys.Hier().Stats().L1Misses)
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hpmvm/internal/coalloc"
+	"hpmvm/internal/gc/gencopy"
+	"hpmvm/internal/gc/genms"
+	"hpmvm/internal/hw/cache"
+	"hpmvm/internal/hw/pebs"
+	"hpmvm/internal/kernel/perfmon"
+	"hpmvm/internal/monitor"
+	"hpmvm/internal/vm/aos"
+	"hpmvm/internal/vm/classfile"
+	"hpmvm/internal/vm/runtime"
+)
+
+// CollectorKind selects the GC policy.
+type CollectorKind int
+
+const (
+	// GenMS is the generational mark-sweep collector (the paper's
+	// default, and the only one supporting co-allocation).
+	GenMS CollectorKind = iota
+	// GenCopy is the generational copying comparator (Figure 6).
+	GenCopy
+)
+
+func (k CollectorKind) String() string {
+	if k == GenCopy {
+		return "GenCopy"
+	}
+	return "GenMS"
+}
+
+// Options configures a System.
+type Options struct {
+	// Cache is the memory-hierarchy geometry; zero value selects the
+	// paper's P4 (cache.DefaultP4).
+	Cache cache.Config
+
+	// Collector selects the GC policy; HeapLimit is the total heap
+	// budget in bytes.
+	Collector CollectorKind
+	HeapLimit uint64
+
+	// Monitoring enables the PEBS unit, kernel module and collector
+	// thread. SamplingInterval selects the hardware interval in events
+	// (e.g. 25_000); 0 selects the adaptive "auto" mode (§6.3). Event
+	// defaults to L1 misses.
+	Monitoring       bool
+	SamplingInterval uint64
+	Event            cache.EventKind
+	MonitorConfig    *monitor.Config // optional overrides
+
+	// Coalloc enables the HPM-guided co-allocation policy (requires
+	// Monitoring and the GenMS collector).
+	Coalloc       bool
+	CoallocConfig *coalloc.Config // optional overrides
+
+	// Adaptive enables the AOS sampler for recompilation (plan
+	// recording mode). The measured configurations instead replay a
+	// pre-generated plan (§6.1).
+	Adaptive  bool
+	AOSConfig *aos.Config
+
+	// Seed drives the deterministic PRNG (interval randomization).
+	// Runs repeated with different seeds model the paper's "average
+	// over 3 executions".
+	Seed int64
+
+	// TrackFields restricts the monitor's time series to the named
+	// fields ("Class::field"), as used by the Figure 7/8 experiments.
+	TrackFields []string
+}
+
+// System is a fully wired execution platform.
+type System struct {
+	Opts Options
+
+	VM      *runtime.VM
+	Unit    *pebs.Unit
+	Module  *perfmon.Module
+	Monitor *monitor.Monitor
+	Policy  *coalloc.Policy
+	AOS     *aos.AOS
+
+	GenMS   *genms.Collector
+	GenCopy *gencopy.Collector
+
+	rng *rand.Rand
+}
+
+// userFilter gates hardware events on CPU privilege mode so that only
+// application activity is sampled (§5.3: VM-internal events excluded).
+type userFilter struct {
+	sys *System
+}
+
+func (f userFilter) HardwareEvent(kind cache.EventKind, addr uint64) {
+	if f.sys.VM.CPU.UserMode() {
+		f.sys.Unit.HardwareEvent(kind, addr)
+	}
+}
+
+// NewSystem builds a System over an already-populated universe (all
+// classes, methods and bytecode defined and Layout() called).
+func NewSystem(u *classfile.Universe, opts Options) *System {
+	if opts.Cache.LineSize == 0 {
+		opts.Cache = cache.DefaultP4()
+	}
+	if opts.HeapLimit == 0 {
+		opts.HeapLimit = 64 * 1024 * 1024
+	}
+	s := &System{Opts: opts}
+	s.rng = rand.New(rand.NewSource(opts.Seed))
+	s.VM = runtime.New(u, opts.Cache)
+
+	// Sampling hardware and kernel module exist unconditionally (the
+	// hardware is always on the chip); they cost nothing unless a
+	// session is started.
+	s.Unit = pebs.NewUnit(s.VM.CPU, s.rng)
+	s.Module = perfmon.NewModule(s.Unit, s.VM.CPU, perfmon.DefaultConfig())
+	s.VM.Hier.SetListener(userFilter{s})
+
+	switch opts.Collector {
+	case GenCopy:
+		s.GenCopy = gencopy.New(s.VM, gencopy.DefaultConfig(opts.HeapLimit))
+	default:
+		s.GenMS = genms.New(s.VM, genms.DefaultConfig(opts.HeapLimit))
+	}
+
+	if opts.Monitoring {
+		mcfg := monitor.DefaultConfig()
+		if opts.MonitorConfig != nil {
+			mcfg = *opts.MonitorConfig
+		}
+		mcfg.Auto = opts.SamplingInterval == 0
+		mcfg.TrackFields = opts.TrackFields
+		s.Monitor = monitor.New(s.VM, s.Module, mcfg)
+
+		if opts.Coalloc {
+			ccfg := coalloc.DefaultConfig()
+			if opts.CoallocConfig != nil {
+				ccfg = *opts.CoallocConfig
+			}
+			s.Policy = coalloc.New(s.Monitor, ccfg)
+			if s.GenMS != nil {
+				s.GenMS.SetAdvisor(s.Policy)
+				s.Monitor.SetClassifier(s.GenMS.ClassifyAddr)
+			}
+		}
+	}
+
+	if opts.Adaptive {
+		acfg := aos.DefaultConfig()
+		if opts.AOSConfig != nil {
+			acfg = *opts.AOSConfig
+		}
+		s.AOS = aos.New(s.VM, acfg)
+	}
+	return s
+}
+
+// Hier returns the memory hierarchy (for statistics).
+func (s *System) Hier() *cache.Hierarchy { return s.VM.Hier }
+
+// Boot materializes the program's constant objects, builds the
+// dispatch tables and compiles every method under the given plan.
+// materialize may be nil for programs without reference constants.
+func (s *System) Boot(plan runtime.CompilePlan, materialize func(vm *runtime.VM)) error {
+	if materialize != nil {
+		materialize(s.VM)
+	}
+	s.VM.BuildDispatch()
+	if err := s.VM.CompileAll(plan); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Run executes the entry method to completion (or the cycle budget)
+// with monitoring configured per the options. Statistics are reset at
+// the start of the run so boot work is excluded, matching the paper's
+// measurement methodology.
+func (s *System) Run(entry *classfile.Method, maxCycles uint64) error {
+	// Cold caches and clean counters at program start.
+	s.VM.Hier.Flush()
+	s.VM.Hier.ResetStats()
+
+	if s.Opts.Monitoring {
+		pcfg := pebs.DefaultConfig()
+		pcfg.Event = s.Opts.Event
+		if s.Opts.SamplingInterval != 0 {
+			pcfg.Interval = s.Opts.SamplingInterval
+		} else {
+			// Auto mode: start from a fine interval so the controller
+			// has samples to steer with early in the (short, scaled)
+			// run; it widens the interval as soon as the rate target
+			// is exceeded.
+			pcfg.Interval = 10_000
+		}
+		if err := s.Module.ConfigureSession(pcfg); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		s.Module.Start()
+		s.Monitor.Attach()
+	}
+	if s.AOS != nil {
+		s.AOS.Attach()
+	}
+
+	if err := s.VM.Start(entry); err != nil {
+		return err
+	}
+	err := s.VM.Run(maxCycles)
+	if s.Opts.Monitoring {
+		s.Module.Stop()
+		s.Monitor.Flush()
+	}
+	return err
+}
+
+// CoallocPairs returns the number of co-allocated pairs (0 when the
+// collector is not GenMS).
+func (s *System) CoallocPairs() uint64 {
+	if s.GenMS == nil {
+		return 0
+	}
+	return s.GenMS.Stats().CoallocPairs
+}
+
+// GCStats returns (minor, major) collection counts.
+func (s *System) GCStats() (uint64, uint64) {
+	return s.VM.Collector.Collections()
+}

@@ -1,0 +1,185 @@
+package freelist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSizeClasses(t *testing.T) {
+	if CellSize(0) != 16 || CellSize(15) != 256 || CellSize(NumClasses-1) != 4096 {
+		t.Errorf("boundary classes: %d %d %d", CellSize(0), CellSize(15), CellSize(NumClasses-1))
+	}
+	// The classes must be strictly increasing.
+	for i := 1; i < NumClasses; i++ {
+		if CellSize(i) <= CellSize(i-1) {
+			t.Fatalf("class %d (%d) not larger than class %d (%d)", i, CellSize(i), i-1, CellSize(i-1))
+		}
+	}
+}
+
+func TestSizeClassForProperty(t *testing.T) {
+	// Property: the selected class fits the request and is the
+	// smallest class that does.
+	f := func(raw uint16) bool {
+		size := uint64(raw)%MaxCellSize + 1
+		idx, ok := SizeClassFor(size)
+		if !ok {
+			return false
+		}
+		if CellSize(idx) < size {
+			return false
+		}
+		if idx > 0 && CellSize(idx-1) >= size {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, ok := SizeClassFor(MaxCellSize + 1); ok {
+		t.Error("oversized request got a class")
+	}
+}
+
+func TestAllocFreeReuse(t *testing.T) {
+	a := New(0x1000_0000, 0x1100_0000)
+	x := a.Alloc(40) // class 48
+	y := a.Alloc(40)
+	if x == 0 || y == 0 || x == y {
+		t.Fatalf("allocs: %#x %#x", x, y)
+	}
+	if cls, ok := a.CellOf(x); !ok || CellSize(cls) != 48 {
+		t.Errorf("CellOf(x) = %d, %v", cls, ok)
+	}
+	a.Free(x)
+	if _, ok := a.CellOf(x); ok {
+		t.Error("freed cell still live")
+	}
+	z := a.Alloc(48)
+	if z != x {
+		t.Errorf("freed cell not reused: %#x vs %#x", z, x)
+	}
+}
+
+func TestNoOverlapProperty(t *testing.T) {
+	// Property: live cells never overlap, across interleaved
+	// allocations and frees.
+	f := func(ops []uint16) bool {
+		a := New(0x1000_0000, 0x1040_0000)
+		type cell struct{ addr, size uint64 }
+		var live []cell
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				victim := int(op) % len(live)
+				a.Free(live[victim].addr)
+				live = append(live[:victim], live[victim+1:]...)
+				continue
+			}
+			size := uint64(op)%MaxCellSize + 1
+			addr := a.Alloc(size)
+			if addr == 0 {
+				continue
+			}
+			live = append(live, cell{addr, size})
+		}
+		for i := range live {
+			for j := i + 1; j < len(live); j++ {
+				a1, e1 := live[i].addr, live[i].addr+live[i].size
+				a2, e2 := live[j].addr, live[j].addr+live[j].size
+				if a1 < e2 && a2 < e1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	a := New(0x1000_0000, 0x1100_0000)
+	keep := a.Alloc(32)
+	kill1 := a.Alloc(32)
+	kill2 := a.Alloc(200)
+	_ = kill1
+	_ = kill2
+	n := a.Sweep(func(addr uint64, cellSize uint64) bool { return addr == keep })
+	if n != 2 {
+		t.Errorf("swept %d cells, want 2", n)
+	}
+	if _, ok := a.CellOf(keep); !ok {
+		t.Error("survivor freed")
+	}
+	if a.Stats().LiveCells != 1 {
+		t.Errorf("LiveCells = %d", a.Stats().LiveCells)
+	}
+}
+
+func TestFragmentationStats(t *testing.T) {
+	a := New(0x1000_0000, 0x1100_0000)
+	a.Alloc(17) // lands in a 32-byte cell: 15 bytes wasted
+	st := a.Stats()
+	if st.BytesRequested != 17 || st.BytesAllocated != 32 {
+		t.Errorf("stats: %+v", st)
+	}
+	frag := st.InternalFragmentation()
+	if frag < 0.45 || frag > 0.48 {
+		t.Errorf("fragmentation = %v", frag)
+	}
+	if a.UsedBytes() != 32 {
+		t.Errorf("UsedBytes = %d", a.UsedBytes())
+	}
+	if a.FootprintBytes() != BlockSize {
+		t.Errorf("FootprintBytes = %d", a.FootprintBytes())
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a := New(0x1000_0000, 0x1000_0000+BlockSize) // exactly one block
+	var got int
+	for a.Alloc(4096) != 0 {
+		got++
+	}
+	if got != BlockSize/4096 {
+		t.Errorf("allocated %d cells from one block, want %d", got, BlockSize/4096)
+	}
+}
+
+func TestGuards(t *testing.T) {
+	a := New(0x1000_0000, 0x1100_0000)
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("oversized alloc", func() { a.Alloc(MaxCellSize + 1) })
+	expectPanic("double free", func() {
+		x := a.Alloc(32)
+		a.Free(x)
+		a.Free(x)
+	})
+}
+
+func TestCellsEnumeration(t *testing.T) {
+	a := New(0x1000_0000, 0x1100_0000)
+	x := a.Alloc(16)
+	y := a.Alloc(16)
+	cells := a.Cells()
+	if len(cells) != 2 {
+		t.Fatalf("Cells = %v", cells)
+	}
+	found := map[uint64]bool{x: false, y: false}
+	for _, c := range cells {
+		found[c] = true
+	}
+	if !found[x] || !found[y] {
+		t.Error("Cells missing an allocation")
+	}
+}

@@ -1,0 +1,321 @@
+// Package gencopy implements the generational copying collector used
+// as the Figure 6 comparator: the same Appel-style nursery as GenMS,
+// but a semispace copying mature space. Copying generally improves
+// mature-space locality (survivors are compacted in breadth-first
+// order) at the cost of a copy reserve — half the mature budget is
+// unusable — which is why GenMS + co-allocation wins at small heap
+// sizes (§6.3, Figure 6).
+package gencopy
+
+import (
+	"fmt"
+
+	"hpmvm/internal/gc/heap"
+	"hpmvm/internal/vm/classfile"
+	"hpmvm/internal/vm/runtime"
+)
+
+// Config sizes the collector.
+type Config struct {
+	HeapLimit       uint64
+	MinNursery      uint64
+	MaxNursery      uint64
+	PerObjectCycles uint64
+}
+
+// DefaultConfig returns a config with the given heap limit.
+func DefaultConfig(heapLimit uint64) Config {
+	return Config{
+		HeapLimit:       heapLimit,
+		MinNursery:      256 * 1024,
+		MaxNursery:      1024 * 1024,
+		PerObjectCycles: 12,
+	}
+}
+
+// Stats describes collector activity.
+type Stats struct {
+	MinorGCs        uint64
+	MajorGCs        uint64
+	PromotedObjects uint64
+	PromotedBytes   uint64
+	CopiedObjects   uint64 // objects copied by major collections
+	CopiedBytes     uint64
+	GCCycles        uint64
+	BarrierRecords  uint64
+}
+
+const semiSplit = (heap.MatureBase + heap.MatureEnd) / 2
+
+// Collector is the GenCopy policy.
+type Collector struct {
+	vm  *runtime.VM
+	cfg Config
+
+	nursery *heap.BumpSpace
+	semi    [2]*heap.BumpSpace
+	active  int
+	los     *heap.LargeObjectSpace
+
+	remset []uint64
+	stats  Stats
+	queue  []uint64 // LOS scan queue during major GC
+}
+
+// New wires a GenCopy collector into the VM.
+func New(vm *runtime.VM, cfg Config) *Collector {
+	c := &Collector{
+		vm:      vm,
+		cfg:     cfg,
+		nursery: heap.NewBumpSpace("nursery", heap.NurseryBase, heap.NurseryEnd),
+		los:     heap.NewLOS(heap.LOSBase, heap.LOSEnd),
+	}
+	c.semi[0] = heap.NewBumpSpace("mature-0", heap.MatureBase, semiSplit)
+	c.semi[1] = heap.NewBumpSpace("mature-1", semiSplit, heap.MatureEnd)
+	c.resizeNursery()
+	vm.CPU.Barrier = c.barrier
+	vm.Collector = c
+	return c
+}
+
+// Name implements runtime.Collector.
+func (c *Collector) Name() string { return "GenCopy" }
+
+// HeapLimit implements runtime.Collector.
+func (c *Collector) HeapLimit() uint64 { return c.cfg.HeapLimit }
+
+// Collections implements runtime.Collector.
+func (c *Collector) Collections() (minor, major uint64) {
+	return c.stats.MinorGCs, c.stats.MajorGCs
+}
+
+// Stats returns a snapshot.
+func (c *Collector) Stats() Stats { return c.stats }
+
+// MatureUsedBytes returns live bytes in the active semispace.
+func (c *Collector) MatureUsedBytes() uint64 { return c.semi[c.active].Used() }
+
+func (c *Collector) barrier(slot, value uint64) {
+	if heap.InImmortal(slot) && (heap.InNursery(value) || heap.InMature(value) || heap.InLOS(value)) {
+		// Immortal objects are immutable after setup by design
+		// (DESIGN.md §7): the collectors do not scan the immortal
+		// space, so such a store would create an untraced edge.
+		panic(fmt.Sprintf("gencopy: reference store into immortal object (slot %#x <- %#x)", slot, value))
+	}
+	if heap.InNursery(value) && !heap.InNursery(slot) {
+		c.remset = append(c.remset, slot)
+		c.stats.BarrierRecords++
+		c.vm.CPU.AddCycles(4)
+	}
+}
+
+// usedBudget counts both semispaces' worth of budget (the copy
+// reserve) plus LOS pages — the space-efficiency cost the paper
+// contrasts with GenMS.
+func (c *Collector) usedBudget() uint64 {
+	return 2*c.semi[c.active].Used() + c.los.Used()
+}
+
+func (c *Collector) resizeNursery() bool {
+	used := c.usedBudget()
+	if used >= c.cfg.HeapLimit {
+		return false
+	}
+	n := (c.cfg.HeapLimit - used) / 2
+	if n > c.cfg.MaxNursery {
+		n = c.cfg.MaxNursery
+	}
+	if n < c.cfg.MinNursery {
+		if c.cfg.HeapLimit-used < c.cfg.MinNursery {
+			return false
+		}
+		n = c.cfg.MinNursery
+	}
+	c.nursery.SetSoftLimit(n &^ 7)
+	return true
+}
+
+// Alloc implements runtime.Collector.
+func (c *Collector) Alloc(size uint64) uint64 {
+	if size > runtime.LargeObjectThreshold {
+		return c.allocLarge(size)
+	}
+	if a := c.nursery.Alloc(size); a != 0 {
+		return a
+	}
+	c.MinorGC()
+	if a := c.nursery.Alloc(size); a != 0 {
+		return a
+	}
+	return 0
+}
+
+func (c *Collector) allocLarge(size uint64) uint64 {
+	need := (size + heap.LOSPageSize - 1) &^ (heap.LOSPageSize - 1)
+	if c.usedBudget()+need+c.cfg.MinNursery > c.cfg.HeapLimit {
+		c.MinorGC()
+		c.MajorGC()
+		if c.usedBudget()+need+c.cfg.MinNursery > c.cfg.HeapLimit {
+			return 0
+		}
+	}
+	return c.los.Alloc(size)
+}
+
+// MinorGC promotes nursery survivors into the active semispace.
+func (c *Collector) MinorGC() {
+	start := c.vm.CPU.Cycles()
+	c.stats.MinorGCs++
+	vm := c.vm
+	to := c.semi[c.active]
+
+	var gray []uint64
+	promote := func(obj uint64) uint64 {
+		if dst, ok := vm.Forwarded(obj); ok {
+			return dst
+		}
+		size := vm.SizeOf(obj)
+		dst := to.Alloc(size)
+		if dst == 0 {
+			panic(fmt.Sprintf("gencopy: semispace exhausted promoting %d bytes", size))
+		}
+		vm.CopyObject(dst, obj, size)
+		vm.SetForwarding(obj, dst)
+		c.stats.PromotedObjects++
+		c.stats.PromotedBytes += size
+		gray = append(gray, dst)
+		return dst
+	}
+
+	for _, r := range vm.CollectRoots() {
+		if v := vm.RootGet(r); heap.InNursery(v) {
+			vm.RootSet(r, promote(v))
+		}
+	}
+	for _, slot := range c.remset {
+		if v := vm.CPU.LoadWord(slot); heap.InNursery(v) {
+			vm.CPU.StoreWord(slot, promote(v))
+		}
+	}
+	c.remset = c.remset[:0]
+
+	for len(gray) > 0 {
+		obj := gray[len(gray)-1]
+		gray = gray[:len(gray)-1]
+		vm.CPU.AddCycles(c.cfg.PerObjectCycles)
+		vm.ForEachRef(obj, func(slot uint64) {
+			if v := vm.CPU.LoadWord(slot); heap.InNursery(v) {
+				vm.CPU.StoreWord(slot, promote(v))
+			}
+		})
+	}
+
+	c.nursery.Reset()
+	c.stats.GCCycles += c.vm.CPU.Cycles() - start
+
+	if !c.resizeNursery() {
+		c.MajorGC()
+		if !c.resizeNursery() {
+			// Even a major collection could not free enough budget:
+			// hand out whatever remains, or close the nursery so the
+			// next allocation reports OOM.
+			rest := uint64(0)
+			if c.cfg.HeapLimit > c.usedBudget() {
+				rest = (c.cfg.HeapLimit - c.usedBudget()) &^ 7
+			}
+			if rest < 4096 {
+				rest = 0
+			}
+			c.nursery.SetSoftLimit(rest)
+		}
+	}
+}
+
+// MajorGC copies the live mature population into the other semispace
+// with a Cheney breadth-first scan, updating every root, to-space and
+// large-object reference, then sweeps the large-object space. Must run
+// with an empty nursery (it is always preceded by MinorGC).
+func (c *Collector) MajorGC() {
+	start := c.vm.CPU.Cycles()
+	c.stats.MajorGCs++
+	vm := c.vm
+	from := c.semi[c.active]
+	to := c.semi[1-c.active]
+	to.Reset()
+
+	c.queue = c.queue[:0]
+
+	forward := func(obj uint64) uint64 {
+		if dst, ok := vm.Forwarded(obj); ok {
+			return dst
+		}
+		size := vm.SizeOf(obj)
+		dst := to.Alloc(size)
+		if dst == 0 {
+			panic(fmt.Sprintf("gencopy: to-space exhausted copying %d bytes", size))
+		}
+		vm.CopyObject(dst, obj, size)
+		vm.SetForwarding(obj, dst)
+		c.stats.CopiedObjects++
+		c.stats.CopiedBytes += size
+		return dst
+	}
+	// visit processes a reference value, returning the (possibly
+	// updated) reference.
+	visit := func(v uint64) uint64 {
+		if from.Contains(v) {
+			return forward(v)
+		}
+		if heap.InLOS(v) {
+			fl := vm.FlagsOf(v)
+			if fl&classfile.FlagMark == 0 {
+				vm.SetFlags(v, fl|classfile.FlagMark)
+				c.queue = append(c.queue, v)
+			}
+		}
+		return v
+	}
+
+	for _, r := range vm.CollectRoots() {
+		v := vm.RootGet(r)
+		nv := visit(v)
+		if nv != v {
+			vm.RootSet(r, nv)
+		}
+	}
+
+	// Cheney scan of the to-space plus the LOS scan queue.
+	scan := to.Base
+	for scan < to.Base+to.Used() || len(c.queue) > 0 {
+		var obj uint64
+		if scan < to.Base+to.Used() {
+			obj = scan
+			scan += vm.SizeOf(obj)
+		} else {
+			obj = c.queue[len(c.queue)-1]
+			c.queue = c.queue[:len(c.queue)-1]
+		}
+		vm.CPU.AddCycles(c.cfg.PerObjectCycles)
+		vm.ForEachRef(obj, func(slot uint64) {
+			v := vm.CPU.LoadWord(slot)
+			nv := visit(v)
+			if nv != v {
+				vm.CPU.StoreWord(slot, nv)
+			}
+		})
+	}
+
+	// Sweep the LOS and clear marks.
+	for _, obj := range c.los.Objects() {
+		fl := vm.FlagsOf(obj)
+		if fl&classfile.FlagMark == 0 {
+			c.los.Free(obj)
+		} else {
+			vm.SetFlags(obj, fl&^classfile.FlagMark)
+		}
+	}
+
+	from.Reset()
+	c.active = 1 - c.active
+	c.stats.GCCycles += c.vm.CPU.Cycles() - start
+}

@@ -1,0 +1,155 @@
+package gencopy_test
+
+import (
+	"strings"
+	"testing"
+
+	"hpmvm/internal/gc/gencopy"
+	"hpmvm/internal/vm/bytecode"
+	"hpmvm/internal/vm/classfile"
+	"hpmvm/internal/vm/vmtest"
+)
+
+const (
+	kInt  = classfile.KindInt
+	kRef  = classfile.KindRef
+	kVoid = classfile.KindVoid
+)
+
+// buildChurnTree builds a program that keeps a linked structure live
+// across nursery churn and repeated drops (forcing both minor and
+// major copying collections), then checksums it.
+func buildChurnTree(u *classfile.Universe, rounds, listLen, churn int64) (*classfile.Method, int64) {
+	node := u.DefineClass("Node", nil)
+	fn := u.AddField(node, "next", kRef)
+	fv := u.AddField(node, "v", kInt)
+	mainCl := u.DefineClass("Main", nil)
+	main := u.AddMethod(mainCl, "main", false, nil, kVoid)
+	b := bytecode.NewBuilder(u, main)
+	b.Local("head", kRef)
+	b.Local("p", kRef)
+	b.Local("i", kInt)
+	b.Local("round", kInt)
+	b.Local("sum", kInt)
+	b.Label("rounds")
+	b.Load("round").Const(rounds).If(bytecode.OpIfGE, "verify")
+	b.Null().Store("head")
+	b.Const(0).Store("i")
+	b.Label("mk")
+	b.Load("i").Const(listLen).If(bytecode.OpIfGE, "churn")
+	b.New(node).Store("p")
+	b.Load("p").Load("i").PutField(fv)
+	b.Load("p").Load("head").PutField(fn)
+	b.Load("p").Store("head")
+	b.Inc("i", 1)
+	b.Goto("mk")
+	b.Label("churn")
+	b.Const(0).Store("i")
+	b.Label("ch")
+	b.Load("i").Const(churn).If(bytecode.OpIfGE, "rnext")
+	b.New(node).Pop()
+	b.Inc("i", 1)
+	b.Goto("ch")
+	b.Label("rnext")
+	b.Inc("round", 1)
+	b.Goto("rounds")
+	// Sum the final list.
+	b.Label("verify")
+	b.Load("head").Store("p")
+	b.Label("walk")
+	b.Load("p").IfNull("done")
+	b.Load("sum").Load("p").GetField(fv).Add().Store("sum")
+	b.Load("p").GetField(fn).Store("p")
+	b.Goto("walk")
+	b.Label("done")
+	b.Load("sum").Result()
+	b.Return()
+	b.MustBuild()
+	return main, listLen * (listLen - 1) / 2
+}
+
+func TestGraphSurvivesCopyingCollections(t *testing.T) {
+	u := classfile.NewUniverse()
+	main, want := buildChurnTree(u, 6, 40_000, 60_000)
+	u.Layout()
+	got, vm, err := vmtest.Run(u, main, vmtest.Options{
+		Heap: 8 << 20, GenCopy: true, Plan: vmtest.AllOpt(u, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != want {
+		t.Fatalf("sum = %d, want %d", got[0], want)
+	}
+	col := vm.Collector.(*gencopy.Collector)
+	minor, major := col.Collections()
+	if minor < 3 {
+		t.Errorf("minor GCs = %d", minor)
+	}
+	if major == 0 {
+		t.Error("expected major (copying) collections")
+	}
+	if col.Stats().CopiedObjects == 0 {
+		t.Error("major GC copied nothing")
+	}
+}
+
+func TestCopyReserveCostsBudget(t *testing.T) {
+	// The same live set that fits GenMS in a given heap OOMs GenCopy,
+	// because half the mature budget is copy reserve — the paper's
+	// space-efficiency argument for GenMS (§5.1, Figure 6).
+	mk := func() (*classfile.Universe, *classfile.Method) {
+		u := classfile.NewUniverse()
+		main, _ := buildChurnTree(u, 1, 70_000, 0) // ~2.24 MB live
+		u.Layout()
+		return u, main
+	}
+	u1, m1 := mk()
+	if _, _, err := vmtest.Run(u1, m1, vmtest.Options{Heap: 3 << 20}); err != nil {
+		t.Fatalf("GenMS should fit: %v", err)
+	}
+	u2, m2 := mk()
+	_, vm, err := vmtest.Run(u2, m2, vmtest.Options{Heap: 3 << 20, GenCopy: true})
+	if err == nil {
+		t.Fatal("GenCopy fit in a heap sized for GenMS live data")
+	}
+	if vm.Failure() == nil || !strings.Contains(vm.Failure().Error(), "out of memory") {
+		t.Errorf("failure = %v", vm.Failure())
+	}
+}
+
+func TestLargeObjectsSurviveMajor(t *testing.T) {
+	u := classfile.NewUniverse()
+	node := u.DefineClass("Holder", nil)
+	fa := u.AddField(node, "arr", kRef)
+	mainCl := u.DefineClass("Main", nil)
+	main := u.AddMethod(mainCl, "main", false, nil, kVoid)
+	b := bytecode.NewBuilder(u, main)
+	b.Local("h", kRef)
+	b.Local("i", kInt)
+	b.New(node).Store("h")
+	b.Load("h").Const(2048).NewArray(u.IntArray).PutField(fa) // 16 KB LOS array
+	b.Load("h").GetField(fa).Const(9).Const(1234).AStore(kInt)
+	// Force minors and majors via churn and dropped large arrays.
+	b.Label("ch")
+	b.Load("i").Const(200).If(bytecode.OpIfGE, "done")
+	b.Const(2048).NewArray(u.IntArray).Pop()
+	b.Inc("i", 1)
+	b.Goto("ch")
+	b.Label("done")
+	b.Load("h").GetField(fa).Const(9).ALoad(kInt).Result()
+	b.Return()
+	b.MustBuild()
+	u.Layout()
+	got, vm, err := vmtest.Run(u, main, vmtest.Options{Heap: 2 << 20, GenCopy: true, Plan: vmtest.AllOpt(u, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1234 {
+		t.Fatalf("LOS element = %d", got[0])
+	}
+	_, major := vm.Collector.Collections()
+	if major == 0 {
+		t.Error("expected major collections (dropped LOS arrays need them)")
+	}
+}

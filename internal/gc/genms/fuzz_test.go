@@ -1,0 +1,218 @@
+package genms_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hpmvm/internal/vm/bytecode"
+	"hpmvm/internal/vm/classfile"
+	"hpmvm/internal/vm/vmtest"
+)
+
+// GC fuzzing: random object-graph mutation sequences are generated in
+// Go, emitted as straight-line bytecode, and mirrored by a direct Go
+// interpretation of the same sequence. A small heap forces many
+// collections mid-sequence; any divergence in the final graph checksum
+// means the collectors (or compilers) corrupted the graph.
+
+type fuzzOp struct {
+	kind    int // 0=new, 1=link-next, 2=link-other, 3=move, 4=clear, 5=churn, 6=setval
+	a, b, c int
+}
+
+const fuzzRoots = 12
+
+func genOps(r *rand.Rand, n int) []fuzzOp {
+	ops := make([]fuzzOp, n)
+	for i := range ops {
+		ops[i] = fuzzOp{
+			kind: r.Intn(7),
+			a:    r.Intn(fuzzRoots),
+			b:    r.Intn(fuzzRoots),
+			c:    r.Intn(1000) + 1,
+		}
+	}
+	return ops
+}
+
+// goMirror executes the sequence over real Go objects.
+type goNode struct {
+	next, other *goNode
+	val         int64
+}
+
+func goMirror(ops []fuzzOp) int64 {
+	roots := make([]*goNode, fuzzRoots)
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			roots[op.a] = &goNode{val: int64(op.c)}
+		case 1:
+			if roots[op.a] != nil {
+				roots[op.a].next = roots[op.b]
+			}
+		case 2:
+			if roots[op.a] != nil {
+				roots[op.a].other = roots[op.b]
+			}
+		case 3:
+			roots[op.a] = roots[op.b]
+		case 4:
+			roots[op.a] = nil
+		case 5:
+			// churn: no visible effect
+		case 6:
+			if roots[op.a] != nil {
+				roots[op.a].val = int64(op.c)
+			}
+		}
+	}
+	var sum int64
+	for _, root := range roots {
+		n := root
+		for step := 0; step < 40 && n != nil; step++ {
+			sum += n.val
+			if step%3 == 2 {
+				n = n.other
+			} else {
+				n = n.next
+			}
+		}
+	}
+	return sum
+}
+
+// emitProgram turns the sequence into bytecode.
+func emitProgram(u *classfile.Universe, ops []fuzzOp) *classfile.Method {
+	node := u.DefineClass("FNode", nil)
+	fNext := u.AddField(node, "next", classfile.KindRef)
+	fOther := u.AddField(node, "other", classfile.KindRef)
+	fVal := u.AddField(node, "val", classfile.KindInt)
+
+	cl := u.DefineClass("FuzzMain", nil)
+	main := u.AddMethod(cl, "main", false, nil, classfile.KindVoid)
+	b := bytecode.NewBuilder(u, main)
+	b.Local("roots", classfile.KindRef)
+	b.Local("t", classfile.KindRef)
+	b.Local("n", classfile.KindRef)
+	b.Local("i", classfile.KindInt)
+	b.Local("step", classfile.KindInt)
+	b.Local("sum", classfile.KindInt)
+	b.Const(fuzzRoots).NewArray(u.RefArray).Store("roots")
+
+	loadRoot := func(idx int) {
+		b.Load("roots").Const(int64(idx)).ALoad(classfile.KindRef)
+	}
+	for i, op := range ops {
+		lbl := fmt.Sprintf("op%d", i)
+		switch op.kind {
+		case 0:
+			b.New(node).Store("t")
+			b.Load("t").Const(int64(op.c)).PutField(fVal)
+			b.Load("roots").Const(int64(op.a)).Load("t").AStore(classfile.KindRef)
+		case 1, 2:
+			f := fNext
+			if op.kind == 2 {
+				f = fOther
+			}
+			loadRoot(op.a)
+			b.Store("t")
+			b.Load("t").IfNull(lbl)
+			b.Load("t")
+			loadRoot(op.b)
+			b.PutField(f)
+			b.Label(lbl)
+		case 3:
+			b.Load("roots").Const(int64(op.a))
+			loadRoot(op.b)
+			b.AStore(classfile.KindRef)
+		case 4:
+			b.Load("roots").Const(int64(op.a)).Null().AStore(classfile.KindRef)
+		case 5:
+			// churn: op.c garbage nodes
+			b.Const(0).Store("i")
+			b.Label(lbl + "c")
+			b.Load("i").Const(int64(op.c)).If(bytecode.OpIfGE, lbl)
+			b.New(node).Pop()
+			b.Inc("i", 1)
+			b.Goto(lbl + "c")
+			b.Label(lbl)
+		case 6:
+			loadRoot(op.a)
+			b.Store("t")
+			b.Load("t").IfNull(lbl)
+			b.Load("t").Const(int64(op.c)).PutField(fVal)
+			b.Label(lbl)
+		}
+	}
+
+	// Checksum: bounded alternating walk from every root.
+	b.Const(0).Store("i")
+	b.Label("chk")
+	b.Load("i").Const(fuzzRoots).If(bytecode.OpIfGE, "emit")
+	b.Load("roots").Load("i").ALoad(classfile.KindRef).Store("n")
+	b.Const(0).Store("step")
+	b.Label("walk")
+	b.Load("step").Const(40).If(bytecode.OpIfGE, "next")
+	b.Load("n").IfNull("next")
+	b.Load("sum").Load("n").GetField(fVal).Add().Store("sum")
+	b.Load("step").Const(3).Rem().Const(2).If(bytecode.OpIfNE, "viaNext")
+	b.Load("n").GetField(fOther).Store("n")
+	b.Goto("stepinc")
+	b.Label("viaNext")
+	b.Load("n").GetField(fNext).Store("n")
+	b.Label("stepinc")
+	b.Inc("step", 1)
+	b.Goto("walk")
+	b.Label("next")
+	b.Inc("i", 1)
+	b.Goto("chk")
+	b.Label("emit")
+	b.Load("sum").Result()
+	b.Return()
+	b.MustBuild()
+	return main
+}
+
+func TestGCFuzzRandomGraphs(t *testing.T) {
+	trials := 8
+	opsPerTrial := 400
+	if testing.Short() {
+		trials = 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		r := rand.New(rand.NewSource(int64(1000 + trial)))
+		ops := genOps(r, opsPerTrial)
+		want := goMirror(ops)
+
+		for _, cfg := range []struct {
+			name    string
+			level   int
+			genCopy bool
+		}{
+			{"baseline-genms", 0, false},
+			{"opt2-genms", 2, false},
+			{"opt2-gencopy", 2, true},
+		} {
+			u := classfile.NewUniverse()
+			main := emitProgram(u, ops)
+			u.Layout()
+			opts := vmtest.Options{Heap: 1 << 20, GenCopy: cfg.genCopy}
+			if cfg.level > 0 {
+				opts.Plan = vmtest.AllOpt(u, cfg.level)
+			}
+			got, vm, err := vmtest.Run(u, main, opts)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, cfg.name, err)
+			}
+			if got[0] != want {
+				t.Fatalf("trial %d %s: checksum %d, want %d", trial, cfg.name, got[0], want)
+			}
+			minor, _ := vm.Collector.Collections()
+			if trial == 0 && minor == 0 {
+				t.Logf("trial %d %s: warning: no GC occurred", trial, cfg.name)
+			}
+		}
+	}
+}

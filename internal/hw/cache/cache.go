@@ -1,0 +1,483 @@
+// Package cache models the Pentium 4 memory hierarchy the paper
+// measures against: a small L1 data cache, a unified L2, a data TLB,
+// and a hardware stream prefetcher (§6.1: 16 KB L1D, 1 MB L2, 128-byte
+// cache lines, hardware-based prefetching of data streams).
+//
+// The model is a timing/tag model: it tracks which lines are resident
+// and charges cycle costs, while the actual data lives in the flat
+// simulated memory (package mem). Every L1 miss, L2 miss and DTLB miss
+// is reported to an event listener; the PEBS unit (package pebs)
+// subscribes to these events to drive precise event-based sampling.
+package cache
+
+import "fmt"
+
+// EventKind identifies a countable hardware event. The P4 exposes many
+// more, but these are the ones the paper samples (§4.1: "L1, L2 cache
+// misses and DTLB misses").
+type EventKind int
+
+const (
+	// EventL1Miss fires on every L1 data-cache load or store miss.
+	EventL1Miss EventKind = iota
+	// EventL2Miss fires on every L2 miss (i.e. memory access).
+	EventL2Miss
+	// EventDTLBMiss fires on every data-TLB miss.
+	EventDTLBMiss
+	numEventKinds
+)
+
+// String returns the conventional event name.
+func (k EventKind) String() string {
+	switch k {
+	case EventL1Miss:
+		return "L1_MISS"
+	case EventL2Miss:
+		return "L2_MISS"
+	case EventDTLBMiss:
+		return "DTLB_MISS"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Listener receives hardware events as they happen. addr is the data
+// address whose access caused the event.
+type Listener interface {
+	HardwareEvent(kind EventKind, addr uint64)
+}
+
+// Config describes the cache geometry and the cycle cost model.
+type Config struct {
+	LineSize int // bytes per cache line (shared by L1 and L2)
+
+	L1Size  int // total L1D bytes
+	L1Assoc int // L1D associativity
+
+	L2Size  int // total L2 bytes
+	L2Assoc int // L2 associativity
+
+	TLBEntries int // DTLB entries (fully associative)
+	PageSize   int // virtual page size covered by one TLB entry
+
+	// Cycle costs. An access always pays L1HitCycles; misses add the
+	// corresponding penalty on top.
+	L1HitCycles   uint64 // cost of an L1 hit
+	L2HitCycles   uint64 // additional cost when L1 misses but L2 hits
+	MemCycles     uint64 // additional cost when L2 misses
+	TLBMissCycles uint64 // additional cost of a DTLB miss (page walk)
+
+	// PrefetchEnabled turns on the stream prefetcher.
+	PrefetchEnabled bool
+	// PrefetchStreams is the number of concurrent streams tracked.
+	PrefetchStreams int
+}
+
+// DefaultP4 returns the configuration matching the paper's experimental
+// platform (§6.1): 3 GHz Pentium 4, 16 KB L1D, 1 MB L2, 128-byte lines,
+// hardware prefetching. Latencies follow published P4 figures scaled to
+// round numbers.
+func DefaultP4() Config {
+	return Config{
+		LineSize:        128,
+		L1Size:          16 * 1024,
+		L1Assoc:         4,
+		L2Size:          1024 * 1024,
+		L2Assoc:         8,
+		TLBEntries:      64,
+		PageSize:        4096,
+		L1HitCycles:     2,
+		L2HitCycles:     18,
+		MemCycles:       200,
+		TLBMissCycles:   30,
+		PrefetchEnabled: true,
+		PrefetchStreams: 8,
+	}
+}
+
+// Validate checks that the geometry is internally consistent.
+func (c Config) Validate() error {
+	checkPow2 := func(name string, v int) error {
+		if v <= 0 || v&(v-1) != 0 {
+			return fmt.Errorf("cache: %s must be a positive power of two, got %d", name, v)
+		}
+		return nil
+	}
+	for _, p := range []struct {
+		name string
+		v    int
+	}{
+		{"LineSize", c.LineSize}, {"L1Size", c.L1Size}, {"L1Assoc", c.L1Assoc},
+		{"L2Size", c.L2Size}, {"L2Assoc", c.L2Assoc}, {"PageSize", c.PageSize},
+	} {
+		if err := checkPow2(p.name, p.v); err != nil {
+			return err
+		}
+	}
+	if c.TLBEntries <= 0 {
+		return fmt.Errorf("cache: TLBEntries must be positive, got %d", c.TLBEntries)
+	}
+	if c.L1Size < c.LineSize*c.L1Assoc {
+		return fmt.Errorf("cache: L1 too small for %d-way associativity", c.L1Assoc)
+	}
+	if c.L2Size < c.LineSize*c.L2Assoc {
+		return fmt.Errorf("cache: L2 too small for %d-way associativity", c.L2Assoc)
+	}
+	return nil
+}
+
+// line is one cache line's tag state.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // last-use stamp
+}
+
+// setAssoc is a generic set-associative tag array with LRU replacement.
+type setAssoc struct {
+	sets     [][]line
+	setMask  uint64
+	setBits  uint
+	offBits  uint
+	stamp    uint64
+	accesses uint64
+	misses   uint64
+}
+
+func newSetAssoc(totalLines, assoc int, offBits uint) *setAssoc {
+	nsets := totalLines / assoc
+	if nsets < 1 {
+		nsets = 1
+	}
+	sets := make([][]line, nsets)
+	for i := range sets {
+		sets[i] = make([]line, assoc)
+	}
+	return &setAssoc{
+		sets:    sets,
+		setMask: uint64(nsets - 1),
+		setBits: uint(popcount(uint64(nsets - 1))),
+		offBits: offBits,
+	}
+}
+
+// lookup probes for the line containing addr. If insert is true and the
+// line is absent, it is filled (evicting LRU). It returns hit, and
+// whether the eviction wrote back a dirty line.
+func (sa *setAssoc) lookup(addr uint64, insert, markDirty bool) (hit, writeback bool) {
+	sa.stamp++
+	sa.accesses++
+	lineAddr := addr >> sa.offBits
+	set := sa.sets[lineAddr&sa.setMask]
+	tag := lineAddr >> sa.setBits
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = sa.stamp
+			if markDirty {
+				set[i].dirty = true
+			}
+			return true, false
+		}
+	}
+	sa.misses++
+	if insert {
+		victim := 0
+		for i := range set {
+			if !set[i].valid {
+				victim = i
+				break
+			}
+			if set[i].lru < set[victim].lru {
+				victim = i
+			}
+		}
+		writeback = set[victim].valid && set[victim].dirty
+		set[victim] = line{tag: tag, valid: true, dirty: markDirty, lru: sa.stamp}
+	}
+	return false, writeback
+}
+
+// contains probes without updating LRU or filling.
+func (sa *setAssoc) contains(addr uint64) bool {
+	lineAddr := addr >> sa.offBits
+	set := sa.sets[lineAddr&sa.setMask]
+	tag := lineAddr >> sa.setBits
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// invalidateAll clears every line (used when a run is reset).
+func (sa *setAssoc) invalidateAll() {
+	for _, set := range sa.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		n += int(x & 1)
+		x >>= 1
+	}
+	return n
+}
+
+// Stats aggregates hierarchy counters.
+type Stats struct {
+	Accesses     uint64 // demand accesses (loads + stores)
+	Loads        uint64
+	Stores       uint64
+	L1Misses     uint64
+	L2Misses     uint64
+	TLBMisses    uint64
+	Writebacks   uint64
+	Prefetches   uint64 // prefetch requests issued
+	PrefetchHits uint64 // demand accesses that hit a prefetched line
+	Cycles       uint64 // total memory-access cycles charged
+}
+
+// L1MissRate returns L1 misses per demand access.
+func (s Stats) L1MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.L1Misses) / float64(s.Accesses)
+}
+
+// stream is one tracked prefetch stream.
+type stream struct {
+	lastLine uint64
+	dir      int64 // +1 ascending, -1 descending
+	conf     int   // confidence
+	valid    bool
+	lru      uint64
+}
+
+// Hierarchy is the complete simulated memory hierarchy.
+type Hierarchy struct {
+	cfg      Config
+	l1       *setAssoc
+	l2       *setAssoc
+	tlb      *setAssoc
+	streams  []stream
+	stamp    uint64
+	stats    Stats
+	listener Listener
+
+	lineBits uint
+	pageBits uint
+
+	prefetched map[uint64]bool // lines currently resident due to prefetch, not yet demanded
+}
+
+// New builds a hierarchy from cfg. It panics on an invalid config since
+// configs are produced by code, not end users.
+func New(cfg Config) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	lineBits := log2(cfg.LineSize)
+	pageBits := log2(cfg.PageSize)
+	h := &Hierarchy{
+		cfg:        cfg,
+		l1:         newSetAssoc(cfg.L1Size/cfg.LineSize, cfg.L1Assoc, lineBits),
+		l2:         newSetAssoc(cfg.L2Size/cfg.LineSize, cfg.L2Assoc, lineBits),
+		tlb:        newSetAssoc(cfg.TLBEntries, cfg.TLBEntries, pageBits),
+		lineBits:   lineBits,
+		pageBits:   pageBits,
+		prefetched: make(map[uint64]bool),
+	}
+	if cfg.PrefetchEnabled {
+		h.streams = make([]stream, cfg.PrefetchStreams)
+	}
+	return h
+}
+
+func log2(v int) uint {
+	var b uint
+	for 1<<b < v {
+		b++
+	}
+	return b
+}
+
+// SetListener registers the event listener (at most one; the PEBS unit
+// multiplexes events itself, matching the P4's one-event-at-a-time
+// PEBS restriction described in §4.1).
+func (h *Hierarchy) SetListener(l Listener) { h.listener = l }
+
+// Config returns the active configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Stats returns a snapshot of the counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// ResetStats zeroes the counters without touching cache contents.
+func (h *Hierarchy) ResetStats() { h.stats = Stats{} }
+
+// Flush invalidates all cache and TLB state.
+func (h *Hierarchy) Flush() {
+	h.l1.invalidateAll()
+	h.l2.invalidateAll()
+	h.tlb.invalidateAll()
+	for i := range h.streams {
+		h.streams[i] = stream{}
+	}
+	h.prefetched = make(map[uint64]bool)
+}
+
+func (h *Hierarchy) emit(kind EventKind, addr uint64) {
+	if h.listener != nil {
+		h.listener.HardwareEvent(kind, addr)
+	}
+}
+
+// Access simulates one demand access of the given size at addr and
+// returns the cycle cost. write distinguishes stores from loads.
+// Accesses are assumed not to cross a cache line (the CPU only issues
+// naturally aligned accesses of at most 8 bytes).
+func (h *Hierarchy) Access(addr uint64, size int, write bool) uint64 {
+	h.stats.Accesses++
+	if write {
+		h.stats.Stores++
+	} else {
+		h.stats.Loads++
+	}
+	cycles := h.cfg.L1HitCycles
+
+	// DTLB.
+	if hit, _ := h.tlb.lookup(addr, true, false); !hit {
+		h.stats.TLBMisses++
+		cycles += h.cfg.TLBMissCycles
+		h.emit(EventDTLBMiss, addr)
+	}
+
+	lineAddr := addr >> h.lineBits
+
+	// First demand touch of a prefetched line counts as a prefetch
+	// hit, whether it is found in L1 (usual case) or deeper.
+	if h.prefetched[lineAddr] {
+		h.stats.PrefetchHits++
+		delete(h.prefetched, lineAddr)
+	}
+
+	// L1.
+	if hit, wb := h.l1.lookup(addr, true, write); hit {
+		h.stats.Cycles += cycles
+		return cycles
+	} else if wb {
+		h.stats.Writebacks++
+	}
+	h.stats.L1Misses++
+	cycles += h.cfg.L2HitCycles
+	h.emit(EventL1Miss, addr)
+
+	// L2.
+	if hit, wb := h.l2.lookup(addr, true, write); !hit {
+		h.stats.L2Misses++
+		cycles += h.cfg.MemCycles
+		h.emit(EventL2Miss, addr)
+		if wb {
+			h.stats.Writebacks++
+		}
+		h.trainPrefetcher(lineAddr)
+	}
+
+	h.stats.Cycles += cycles
+	return cycles
+}
+
+// trainPrefetcher observes a memory-level miss and, on a detected
+// stream, prefetches the next line into L2 and L1. The prefetch is
+// charged no demand latency (it overlaps with the miss), matching the
+// P4's autonomous stream prefetcher.
+func (h *Hierarchy) trainPrefetcher(lineAddr uint64) {
+	if !h.cfg.PrefetchEnabled {
+		return
+	}
+	h.stamp++
+	// Find a stream this miss continues.
+	for i := range h.streams {
+		s := &h.streams[i]
+		if !s.valid {
+			continue
+		}
+		delta := int64(lineAddr) - int64(s.lastLine)
+		if delta == s.dir {
+			s.lastLine = lineAddr
+			s.lru = h.stamp
+			if s.conf < 4 {
+				s.conf++
+			}
+			if s.conf >= 2 {
+				next := uint64(int64(lineAddr) + s.dir)
+				h.prefetchLine(next)
+			}
+			return
+		}
+	}
+	// Try to pair with a stream one line away in either direction to
+	// start a new stream, else allocate.
+	for i := range h.streams {
+		s := &h.streams[i]
+		if !s.valid {
+			continue
+		}
+		delta := int64(lineAddr) - int64(s.lastLine)
+		if delta == 1 || delta == -1 {
+			s.dir = delta
+			s.lastLine = lineAddr
+			s.conf = 2
+			s.lru = h.stamp
+			next := uint64(int64(lineAddr) + s.dir)
+			h.prefetchLine(next)
+			return
+		}
+	}
+	victim := 0
+	for i := range h.streams {
+		if !h.streams[i].valid {
+			victim = i
+			break
+		}
+		if h.streams[i].lru < h.streams[victim].lru {
+			victim = i
+		}
+	}
+	h.streams[victim] = stream{lastLine: lineAddr, dir: 1, conf: 1, valid: true, lru: h.stamp}
+}
+
+func (h *Hierarchy) prefetchLine(lineAddr uint64) {
+	addr := lineAddr << h.lineBits
+	if h.l2.contains(addr) && h.l1.contains(addr) {
+		return
+	}
+	h.stats.Prefetches++
+	h.l2.lookup(addr, true, false)
+	h.l1.lookup(addr, true, false)
+	h.prefetched[lineAddr] = true
+}
+
+// L1Contains reports whether the line holding addr is resident in L1.
+// Exposed for tests and for the co-allocation effectiveness analysis.
+func (h *Hierarchy) L1Contains(addr uint64) bool { return h.l1.contains(addr) }
+
+// L2Contains reports whether the line holding addr is resident in L2.
+func (h *Hierarchy) L2Contains(addr uint64) bool { return h.l2.contains(addr) }
+
+// LineOf returns the line-aligned base address for addr.
+func (h *Hierarchy) LineOf(addr uint64) uint64 {
+	return addr &^ (uint64(h.cfg.LineSize) - 1)
+}
+
+// SameLine reports whether two addresses fall in the same cache line —
+// the property object co-allocation tries to establish for hot
+// parent/child pairs (§5.2).
+func (h *Hierarchy) SameLine(a, b uint64) bool { return h.LineOf(a) == h.LineOf(b) }

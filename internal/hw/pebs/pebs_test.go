@@ -1,0 +1,235 @@
+package pebs
+
+import (
+	"math/rand"
+	"testing"
+
+	"hpmvm/internal/hw/cache"
+)
+
+// fakeCPU implements CPUState for unit tests.
+type fakeCPU struct {
+	pc     uint64
+	regs   [NumRegs]uint64
+	cycles uint64
+}
+
+func (f *fakeCPU) SamplePC() uint64                { return f.pc }
+func (f *fakeCPU) SampleRegs(dst *[NumRegs]uint64) { *dst = f.regs }
+func (f *fakeCPU) CycleCount() uint64              { return f.cycles }
+func (f *fakeCPU) AddCycles(n uint64)              { f.cycles += n }
+
+type recHandler struct {
+	fired int
+	drain bool
+	unit  *Unit
+	got   []Sample
+}
+
+func (h *recHandler) PEBSOverflow(u *Unit) {
+	h.fired++
+	if h.drain {
+		h.got = append(h.got, u.Drain()...)
+	}
+}
+
+func cfg(interval uint64, buf int) Config {
+	return Config{
+		Event:         cache.EventL1Miss,
+		Interval:      interval,
+		RandomBits:    0,
+		BufferSamples: buf,
+		WatermarkFrac: 0.5,
+		CaptureCycles: 10,
+	}
+}
+
+func TestIntervalCounting(t *testing.T) {
+	cpu := &fakeCPU{pc: 0x1000}
+	u := NewUnit(cpu, rand.New(rand.NewSource(1)))
+	if err := u.Configure(cfg(4, 100)); err != nil {
+		t.Fatal(err)
+	}
+	u.Start()
+	for i := 0; i < 16; i++ {
+		u.HardwareEvent(cache.EventL1Miss, uint64(i))
+	}
+	st := u.Stats()
+	if st.EventsSeen != 16 {
+		t.Errorf("EventsSeen = %d", st.EventsSeen)
+	}
+	if st.SamplesTaken != 4 {
+		t.Errorf("SamplesTaken = %d, want 4 (every 4th event)", st.SamplesTaken)
+	}
+}
+
+func TestOnlySelectedEventSampled(t *testing.T) {
+	cpu := &fakeCPU{}
+	u := NewUnit(cpu, rand.New(rand.NewSource(1)))
+	if err := u.Configure(cfg(1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	u.Start()
+	u.HardwareEvent(cache.EventL2Miss, 1)
+	u.HardwareEvent(cache.EventDTLBMiss, 2)
+	if u.Stats().SamplesTaken != 0 {
+		t.Error("sampled a non-selected event (P4 PEBS samples one event at a time)")
+	}
+	u.HardwareEvent(cache.EventL1Miss, 3)
+	if u.Stats().SamplesTaken != 1 {
+		t.Error("selected event not sampled")
+	}
+}
+
+func TestSampleContents(t *testing.T) {
+	cpu := &fakeCPU{pc: 0xBEEF00, cycles: 777}
+	cpu.regs[3] = 42
+	u := NewUnit(cpu, rand.New(rand.NewSource(1)))
+	if err := u.Configure(cfg(1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	u.Start()
+	u.HardwareEvent(cache.EventL1Miss, 0xDA7A)
+	s := u.Drain()
+	if len(s) != 1 {
+		t.Fatalf("drained %d samples", len(s))
+	}
+	if s[0].PC != 0xBEEF00 || s[0].DataAddr != 0xDA7A || s[0].Regs[3] != 42 || s[0].Event != cache.EventL1Miss {
+		t.Errorf("sample contents wrong: %+v", s[0])
+	}
+	// Capture must charge microcode cycles; sample timestamp precedes
+	// the charge.
+	if cpu.cycles != 777+10 {
+		t.Errorf("capture cycles = %d", cpu.cycles)
+	}
+}
+
+func TestWatermarkInterrupt(t *testing.T) {
+	cpu := &fakeCPU{}
+	u := NewUnit(cpu, rand.New(rand.NewSource(1)))
+	h := &recHandler{drain: true}
+	u.SetHandler(h)
+	if err := u.Configure(cfg(1, 8)); err != nil { // watermark at 4
+		t.Fatal(err)
+	}
+	u.Start()
+	for i := 0; i < 4; i++ {
+		u.HardwareEvent(cache.EventL1Miss, uint64(i))
+	}
+	if h.fired != 1 {
+		t.Fatalf("interrupts = %d, want 1", h.fired)
+	}
+	if len(h.got) != 4 {
+		t.Fatalf("handler drained %d samples", len(h.got))
+	}
+	if u.Pending() != 0 {
+		t.Error("buffer not drained")
+	}
+}
+
+func TestBufferOverflowDrops(t *testing.T) {
+	cpu := &fakeCPU{}
+	u := NewUnit(cpu, rand.New(rand.NewSource(1)))
+	// No handler: nothing drains the buffer.
+	if err := u.Configure(cfg(1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	u.Start()
+	for i := 0; i < 10; i++ {
+		u.HardwareEvent(cache.EventL1Miss, uint64(i))
+	}
+	st := u.Stats()
+	if st.SamplesTaken != 4 {
+		t.Errorf("SamplesTaken = %d, want buffer capacity 4", st.SamplesTaken)
+	}
+	if st.Dropped != 6 {
+		t.Errorf("Dropped = %d, want 6", st.Dropped)
+	}
+}
+
+func TestRandomizedInterval(t *testing.T) {
+	cpu := &fakeCPU{}
+	u := NewUnit(cpu, rand.New(rand.NewSource(7)))
+	c := cfg(1024, 4096)
+	c.RandomBits = 8
+	if err := u.Configure(c); err != nil {
+		t.Fatal(err)
+	}
+	u.Start()
+	// Fire a long event stream; with 8 randomized bits the distance
+	// between samples must stay within [1024-255, 1024+255] of the
+	// base interval (the top bits are preserved).
+	var sampleAt []int
+	for i := 0; i < 100_000; i++ {
+		before := u.Stats().SamplesTaken
+		u.HardwareEvent(cache.EventL1Miss, 0)
+		if u.Stats().SamplesTaken != before {
+			sampleAt = append(sampleAt, i)
+		}
+	}
+	if len(sampleAt) < 50 {
+		t.Fatalf("too few samples: %d", len(sampleAt))
+	}
+	distinct := map[int]bool{}
+	for i := 1; i < len(sampleAt); i++ {
+		d := sampleAt[i] - sampleAt[i-1]
+		if d < 1024-256 || d > 1024+256 {
+			t.Fatalf("inter-sample distance %d outside randomized window", d)
+		}
+		distinct[d] = true
+	}
+	if len(distinct) < 10 {
+		t.Errorf("intervals not randomized: %d distinct distances", len(distinct))
+	}
+}
+
+func TestStopAndRestart(t *testing.T) {
+	cpu := &fakeCPU{}
+	u := NewUnit(cpu, rand.New(rand.NewSource(1)))
+	if err := u.Configure(cfg(1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	u.Start()
+	u.HardwareEvent(cache.EventL1Miss, 0)
+	u.Stop()
+	u.HardwareEvent(cache.EventL1Miss, 0)
+	if u.Stats().SamplesTaken != 1 {
+		t.Error("sampled while stopped")
+	}
+	if u.Enabled() {
+		t.Error("Enabled after Stop")
+	}
+	u.Start()
+	u.HardwareEvent(cache.EventL1Miss, 0)
+	if u.Stats().SamplesTaken != 2 {
+		t.Error("not sampling after restart")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	u := NewUnit(&fakeCPU{}, rand.New(rand.NewSource(1)))
+	if err := u.Configure(Config{Interval: 0, BufferSamples: 1, WatermarkFrac: 0.5}); err == nil {
+		t.Error("accepted zero interval")
+	}
+	if err := u.Configure(Config{Interval: 1, BufferSamples: 0, WatermarkFrac: 0.5}); err == nil {
+		t.Error("accepted zero buffer")
+	}
+	if err := u.Configure(Config{Interval: 1, BufferSamples: 1, WatermarkFrac: 1.5}); err == nil {
+		t.Error("accepted watermark > 1")
+	}
+}
+
+func TestSetInterval(t *testing.T) {
+	u := NewUnit(&fakeCPU{}, rand.New(rand.NewSource(1)))
+	if err := u.Configure(cfg(100, 10)); err != nil {
+		t.Fatal(err)
+	}
+	u.SetInterval(0)
+	if u.Interval() != 1 {
+		t.Error("SetInterval(0) should clamp to 1")
+	}
+	u.SetInterval(555)
+	if u.Interval() != 555 {
+		t.Error("SetInterval not applied")
+	}
+}

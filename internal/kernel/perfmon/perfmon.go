@@ -1,0 +1,151 @@
+// Package perfmon simulates the Perfmon loadable kernel module the
+// paper builds on (§4.1, part 1 of the system): it owns access to the
+// performance counter hardware, hides platform-specific details from
+// the VM, provides the interrupt handler invoked when the CPU's sample
+// buffer fills, and buffers samples in kernel space until user space
+// reads them.
+package perfmon
+
+import (
+	"fmt"
+
+	"hpmvm/internal/hw/cache"
+	"hpmvm/internal/hw/pebs"
+)
+
+// CycleSink is where the module charges the cycles its own work
+// consumes (interrupt handling, buffer copies, syscall entry/exit). In
+// practice this is the *cpu.CPU.
+type CycleSink interface {
+	AddCycles(n uint64)
+}
+
+// Config holds the kernel module's cost model and buffering parameters.
+type Config struct {
+	// KernelBufferSamples is the capacity of the in-kernel sample
+	// buffer that accumulates drained CPU buffers between user-space
+	// reads.
+	KernelBufferSamples int
+	// CopyCyclesPerSample is charged for moving one sample between
+	// buffers (interrupt handler and read path).
+	CopyCyclesPerSample uint64
+	// SyscallCycles is charged per user-space read or control call.
+	SyscallCycles uint64
+}
+
+// DefaultConfig returns costs roughly matching a Linux perfmon2 stack:
+// a syscall plus buffer copy-out per poll, a few tens of cycles per
+// sample moved.
+func DefaultConfig() Config {
+	return Config{
+		KernelBufferSamples: 16 * 1024,
+		CopyCyclesPerSample: 30,
+		SyscallCycles:       3000,
+	}
+}
+
+// Module is the simulated kernel module. It implements
+// pebs.InterruptHandler so the sampling hardware can deliver overflow
+// interrupts to it.
+type Module struct {
+	cfg    Config
+	pcfg   pebs.Config
+	unit   *pebs.Unit
+	sink   CycleSink
+	buf    []pebs.Sample
+	lost   uint64 // samples dropped because the kernel buffer was full
+	reads  uint64 // user-space read syscalls serviced
+	active bool
+}
+
+// NewModule loads the module over a sampling unit.
+func NewModule(unit *pebs.Unit, sink CycleSink, cfg Config) *Module {
+	m := &Module{cfg: cfg, unit: unit, sink: sink}
+	unit.SetHandler(m)
+	return m
+}
+
+// ConfigureSession programs the hardware for the given event and
+// sampling parameters. It mirrors perfmon's context-programming
+// syscalls.
+func (m *Module) ConfigureSession(pcfg pebs.Config) error {
+	m.sink.AddCycles(m.cfg.SyscallCycles)
+	if err := m.unit.Configure(pcfg); err != nil {
+		return fmt.Errorf("perfmon: %w", err)
+	}
+	m.pcfg = pcfg
+	m.buf = m.buf[:0]
+	return nil
+}
+
+// Start begins sampling.
+func (m *Module) Start() {
+	m.sink.AddCycles(m.cfg.SyscallCycles)
+	m.unit.Start()
+	m.active = true
+}
+
+// Stop halts sampling; buffered samples remain readable.
+func (m *Module) Stop() {
+	m.sink.AddCycles(m.cfg.SyscallCycles)
+	m.unit.Stop()
+	m.active = false
+}
+
+// Active reports whether a session is currently sampling.
+func (m *Module) Active() bool { return m.active }
+
+// SetInterval retargets the hardware sampling interval (used by the
+// monitor's adaptive mode). Charged as a control syscall.
+func (m *Module) SetInterval(interval uint64) {
+	m.sink.AddCycles(m.cfg.SyscallCycles)
+	m.unit.SetInterval(interval)
+}
+
+// Interval returns the current hardware sampling interval.
+func (m *Module) Interval() uint64 { return m.unit.Interval() }
+
+// Event returns the configured event kind.
+func (m *Module) Event() cache.EventKind { return m.pcfg.Event }
+
+// PEBSOverflow implements pebs.InterruptHandler: drain the CPU-side
+// buffer into the kernel buffer.
+func (m *Module) PEBSOverflow(u *pebs.Unit) {
+	samples := u.Drain()
+	m.sink.AddCycles(uint64(len(samples)) * m.cfg.CopyCyclesPerSample)
+	m.absorb(samples)
+}
+
+func (m *Module) absorb(samples []pebs.Sample) {
+	space := m.cfg.KernelBufferSamples - len(m.buf)
+	if space < len(samples) {
+		m.lost += uint64(len(samples) - space)
+		samples = samples[:space]
+	}
+	m.buf = append(m.buf, samples...)
+}
+
+// ReadSamples copies up to len(dst) pending samples into dst (the
+// user-space pre-allocated array) and returns the count. It first
+// drains any samples still sitting in the CPU buffer so a poll sees
+// everything collected so far. Costs one syscall plus per-sample copy.
+func (m *Module) ReadSamples(dst []pebs.Sample) int {
+	m.sink.AddCycles(m.cfg.SyscallCycles)
+	m.absorb(m.unit.Drain())
+	n := copy(dst, m.buf)
+	m.sink.AddCycles(uint64(n) * m.cfg.CopyCyclesPerSample)
+	m.buf = m.buf[:copy(m.buf, m.buf[n:])]
+	return n
+}
+
+// UnitStats returns the sampling hardware's counters (events seen,
+// samples taken, drops) — perfmon exposes these as virtual counters.
+func (m *Module) UnitStats() pebs.Stats { return m.unit.Stats() }
+
+// Pending returns the number of samples waiting in the kernel buffer
+// (not counting the CPU-side buffer).
+func (m *Module) Pending() int { return len(m.buf) }
+
+// Lost returns the number of samples dropped due to kernel buffer
+// overflow.
+func (m *Module) Lost() uint64 { return m.lost }

@@ -1,0 +1,146 @@
+package perfmon
+
+import (
+	"math/rand"
+	"testing"
+
+	"hpmvm/internal/hw/cache"
+	"hpmvm/internal/hw/pebs"
+)
+
+type fakeCPU struct {
+	cycles uint64
+	regs   [pebs.NumRegs]uint64
+}
+
+func (f *fakeCPU) SamplePC() uint64                     { return 0x1234 }
+func (f *fakeCPU) SampleRegs(dst *[pebs.NumRegs]uint64) { *dst = f.regs }
+func (f *fakeCPU) CycleCount() uint64                   { return f.cycles }
+func (f *fakeCPU) AddCycles(n uint64)                   { f.cycles += n }
+
+func setup(t *testing.T, interval uint64, cpuBuf int) (*fakeCPU, *pebs.Unit, *Module) {
+	t.Helper()
+	cpu := &fakeCPU{}
+	unit := pebs.NewUnit(cpu, rand.New(rand.NewSource(1)))
+	mod := NewModule(unit, cpu, DefaultConfig())
+	err := mod.ConfigureSession(pebs.Config{
+		Event:         cache.EventL1Miss,
+		Interval:      interval,
+		BufferSamples: cpuBuf,
+		WatermarkFrac: 0.5,
+		CaptureCycles: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cpu, unit, mod
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	_, unit, mod := setup(t, 1, 64)
+	if mod.Active() {
+		t.Error("active before Start")
+	}
+	mod.Start()
+	if !mod.Active() || !unit.Enabled() {
+		t.Error("not active after Start")
+	}
+	mod.Stop()
+	if mod.Active() || unit.Enabled() {
+		t.Error("active after Stop")
+	}
+	if mod.Event() != cache.EventL1Miss {
+		t.Error("configured event not reported")
+	}
+}
+
+func TestInterruptDrainsCPUBuffer(t *testing.T) {
+	_, unit, mod := setup(t, 1, 8) // watermark 4
+	mod.Start()
+	for i := 0; i < 4; i++ {
+		unit.HardwareEvent(cache.EventL1Miss, uint64(i))
+	}
+	if unit.Pending() != 0 {
+		t.Error("CPU buffer not drained by the interrupt handler")
+	}
+	if mod.Pending() != 4 {
+		t.Errorf("kernel buffer has %d samples, want 4", mod.Pending())
+	}
+}
+
+func TestReadSamples(t *testing.T) {
+	_, unit, mod := setup(t, 1, 64)
+	mod.Start()
+	for i := 0; i < 6; i++ {
+		unit.HardwareEvent(cache.EventL1Miss, uint64(100+i))
+	}
+	// 6 samples sit in the CPU buffer (below watermark 32); ReadSamples
+	// must sweep them into user space.
+	buf := make([]pebs.Sample, 4)
+	n := mod.ReadSamples(buf)
+	if n != 4 {
+		t.Fatalf("first read = %d, want 4", n)
+	}
+	if buf[0].DataAddr != 100 {
+		t.Errorf("sample order wrong: first DataAddr = %d", buf[0].DataAddr)
+	}
+	n = mod.ReadSamples(buf)
+	if n != 2 {
+		t.Fatalf("second read = %d, want 2", n)
+	}
+	if buf[0].DataAddr != 104 {
+		t.Errorf("second batch starts at %d, want 104", buf[0].DataAddr)
+	}
+	if mod.ReadSamples(buf) != 0 {
+		t.Error("third read should be empty")
+	}
+}
+
+func TestKernelBufferOverflow(t *testing.T) {
+	cpu := &fakeCPU{}
+	unit := pebs.NewUnit(cpu, rand.New(rand.NewSource(1)))
+	cfg := DefaultConfig()
+	cfg.KernelBufferSamples = 4
+	mod := NewModule(unit, cpu, cfg)
+	if err := mod.ConfigureSession(pebs.Config{
+		Event: cache.EventL1Miss, Interval: 1,
+		BufferSamples: 2, WatermarkFrac: 0.5, // watermark 1: every sample interrupts
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mod.Start()
+	for i := 0; i < 10; i++ {
+		unit.HardwareEvent(cache.EventL1Miss, uint64(i))
+	}
+	if mod.Pending() != 4 {
+		t.Errorf("kernel buffer = %d, want capacity 4", mod.Pending())
+	}
+	if mod.Lost() != 6 {
+		t.Errorf("Lost = %d, want 6", mod.Lost())
+	}
+}
+
+func TestCycleCharging(t *testing.T) {
+	cpu, unit, mod := setup(t, 1, 64)
+	start := cpu.cycles
+	mod.Start() // one syscall
+	if cpu.cycles-start != DefaultConfig().SyscallCycles {
+		t.Errorf("Start charged %d cycles", cpu.cycles-start)
+	}
+	unit.HardwareEvent(cache.EventL1Miss, 0)
+	start = cpu.cycles
+	buf := make([]pebs.Sample, 16)
+	mod.ReadSamples(buf)
+	want := DefaultConfig().SyscallCycles + 1*DefaultConfig().CopyCyclesPerSample
+	if cpu.cycles-start != want {
+		t.Errorf("ReadSamples charged %d cycles, want %d", cpu.cycles-start, want)
+	}
+}
+
+func TestSetIntervalPassesThrough(t *testing.T) {
+	_, unit, mod := setup(t, 100, 64)
+	mod.SetInterval(4096)
+	if unit.Interval() != 4096 || mod.Interval() != 4096 {
+		t.Error("SetInterval did not reach the unit")
+	}
+}

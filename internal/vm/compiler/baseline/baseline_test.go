@@ -1,0 +1,140 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"hpmvm/internal/hw/cache"
+	"hpmvm/internal/hw/cpu"
+	"hpmvm/internal/hw/mem"
+	"hpmvm/internal/vm/bytecode"
+	"hpmvm/internal/vm/classfile"
+	"hpmvm/internal/vm/compiler/baseline"
+	"hpmvm/internal/vm/mcmap"
+)
+
+const (
+	kInt  = classfile.KindInt
+	kRef  = classfile.KindRef
+	kVoid = classfile.KindVoid
+)
+
+func compile(t *testing.T, build func(u *classfile.Universe) *bytecode.Code) (*cpu.CPU, *mcmap.MCMap, *bytecode.Code) {
+	t.Helper()
+	u := classfile.NewUniverse()
+	code := build(u)
+	u.Layout()
+	c := cpu.New(mem.New(), cache.New(cache.DefaultP4()), cpu.DefaultConfig())
+	m := baseline.Compile(u, c, code)
+	return c, m, code
+}
+
+func TestEveryAppInstructionHasBytecodeProvenance(t *testing.T) {
+	// The baseline compiler must map every emitted machine instruction
+	// (outside prologue and trap blocks) back to its bytecode — that is
+	// the map the sample decoder relies on (§4.2).
+	_, m, code := compile(t, func(u *classfile.Universe) *bytecode.Code {
+		cl := u.DefineClass("C", nil)
+		f := u.AddField(cl, "x", kInt)
+		mm := u.AddMethod(cl, "m", false, []classfile.Kind{kRef}, kInt)
+		b := bytecode.NewBuilder(u, mm)
+		b.BindArg(0, "o")
+		b.Local("i", kInt)
+		b.Label("loop")
+		b.Load("i").Const(3).If(bytecode.OpIfGE, "done")
+		b.Inc("i", 1)
+		b.Goto("loop")
+		b.Label("done")
+		b.Load("o").GetField(f).ReturnVal()
+		return b.MustBuild()
+	})
+	mapped := 0
+	for _, bci := range m.BCIndex {
+		if bci != mcmap.NoBCI {
+			mapped++
+			if int(bci) >= len(code.Instrs) {
+				t.Fatalf("BCI %d out of range", bci)
+			}
+		}
+	}
+	if mapped < len(code.Instrs) {
+		t.Errorf("only %d machine instructions carry provenance for %d bytecodes", mapped, len(code.Instrs))
+	}
+	// Baseline code has no IR ids.
+	for _, id := range m.IRID {
+		if id != mcmap.NoBCI {
+			t.Fatal("baseline body claims IR provenance")
+		}
+	}
+}
+
+func TestGCPointsAtAllocationsAndCalls(t *testing.T) {
+	_, m, _ := compile(t, func(u *classfile.Universe) *bytecode.Code {
+		cl := u.DefineClass("C", nil)
+		callee := u.AddMethod(cl, "callee", false, nil, kVoid)
+		cb := bytecode.NewBuilder(u, callee)
+		cb.Return()
+		cb.MustBuild()
+		mm := u.AddMethod(cl, "m", false, nil, kVoid)
+		b := bytecode.NewBuilder(u, mm)
+		b.Local("o", kRef)
+		b.New(cl).Store("o")
+		b.Const(3).NewArray(u.IntArray).Pop()
+		b.InvokeStatic(callee)
+		b.Return()
+		return b.MustBuild()
+	})
+	if len(m.GCPoints) != 3 {
+		t.Fatalf("GC points = %d, want 3 (two allocations + one call)", len(m.GCPoints))
+	}
+	// The ref local "o" must be in the map of the later GC points.
+	last := m.GCPoints[len(m.GCPoints)-1]
+	if last.RefSlots&1 == 0 {
+		t.Errorf("ref local missing from call-site GC map: %+v", last)
+	}
+}
+
+func TestStackSlotTypingInGCMaps(t *testing.T) {
+	// A reference held on the operand stack across an allocation must
+	// appear in the allocation's GC map.
+	_, m, code := compile(t, func(u *classfile.Universe) *bytecode.Code {
+		cl := u.DefineClass("C", nil)
+		fr := u.AddField(cl, "r", kRef)
+		mm := u.AddMethod(cl, "m", false, []classfile.Kind{kRef}, kVoid)
+		b := bytecode.NewBuilder(u, mm)
+		b.BindArg(0, "o")
+		b.Load("o")    // ref on stack slot 0 (frame slot numLocals+0)
+		b.New(cl)      // GC point with the ref live on the stack
+		b.PutField(fr) // o.r = new C
+		b.Return()
+		return b.MustBuild()
+	})
+	if len(m.GCPoints) != 1 {
+		t.Fatalf("GC points = %d", len(m.GCPoints))
+	}
+	gp := m.GCPoints[0]
+	stackSlot := uint(code.NumLocals) // depth-0 operand slot
+	if gp.RefSlots&(1<<stackSlot) == 0 {
+		t.Errorf("operand-stack ref missing from GC map: slots %#x", gp.RefSlots)
+	}
+	if gp.RefSlots&1 == 0 {
+		t.Errorf("ref argument local missing from GC map: slots %#x", gp.RefSlots)
+	}
+	if gp.RefRegs != 0 {
+		t.Errorf("baseline GC map claims live ref registers: %#x", gp.RefRegs)
+	}
+}
+
+func TestCompileRequiresVerifiedCode(t *testing.T) {
+	u := classfile.NewUniverse()
+	cl := u.DefineClass("C", nil)
+	mm := u.AddMethod(cl, "m", false, nil, kVoid)
+	code := &bytecode.Code{Method: mm, Instrs: []bytecode.Instr{{Op: bytecode.OpReturn}}}
+	u.Layout()
+	c := cpu.New(mem.New(), cache.New(cache.DefaultP4()), cpu.DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("unverified code accepted")
+		}
+	}()
+	baseline.Compile(u, c, code)
+}

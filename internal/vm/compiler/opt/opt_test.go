@@ -1,0 +1,448 @@
+package opt_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hpmvm/internal/vm/bytecode"
+	"hpmvm/internal/vm/classfile"
+	"hpmvm/internal/vm/runtime"
+	"hpmvm/internal/vm/vmtest"
+)
+
+const (
+	kInt  = classfile.KindInt
+	kRef  = classfile.KindRef
+	kChar = classfile.KindChar
+	kByte = classfile.KindByte
+	kVoid = classfile.KindVoid
+)
+
+// program builds a universe with a single Main::main plus whatever
+// setup adds, then runs it at every compilation level and checks the
+// result log.
+func checkLevels(t *testing.T, want []int64, build func(u *classfile.Universe) *classfile.Method) {
+	t.Helper()
+	for _, level := range []int{0, 1, 2} {
+		u := classfile.NewUniverse()
+		entry := build(u)
+		u.Layout()
+		var plan runtime.CompilePlan
+		if level > 0 {
+			plan = vmtest.AllOpt(u, level)
+		}
+		got, _, err := vmtest.Run(u, entry, vmtest.Options{Plan: plan})
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("level %d: results %v, want %v", level, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("level %d: result[%d] = %d, want %d (all: %v)", level, i, got[i], want[i], got)
+			}
+		}
+	}
+}
+
+func mainMethod(u *classfile.Universe) (*classfile.Method, *bytecode.Builder) {
+	c := u.DefineClass("Main", nil)
+	m := u.AddMethod(c, "main", false, nil, kVoid)
+	return m, bytecode.NewBuilder(u, m)
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	// Java-style truncation and wrapping semantics.
+	checkLevels(t, []int64{-3, -2, 42, -16, 15, 4}, func(u *classfile.Universe) *classfile.Method {
+		m, b := mainMethod(u)
+		b.Const(-17).Const(5).Div().Result()
+		b.Const(-17).Const(5).Rem().Result()
+		b.Const(6).Const(7).Mul().Result()
+		b.Const(-4).Const(2).Shl().Result()
+		b.Const(-1).Const(60).Shr().Result()
+		b.Const(-13).Const(2).Sar().Neg().Result()
+		b.Return()
+		b.MustBuild()
+		return m
+	})
+}
+
+func TestLoopsAndLocals(t *testing.T) {
+	checkLevels(t, []int64{4950}, func(u *classfile.Universe) *classfile.Method {
+		m, b := mainMethod(u)
+		b.Local("i", kInt)
+		b.Local("sum", kInt)
+		b.Label("loop")
+		b.Load("i").Const(100).If(bytecode.OpIfGE, "done")
+		b.Load("sum").Load("i").Add().Store("sum")
+		b.Inc("i", 1)
+		b.Goto("loop")
+		b.Label("done")
+		b.Load("sum").Result()
+		b.Return()
+		b.MustBuild()
+		return m
+	})
+}
+
+func TestArraysAllKinds(t *testing.T) {
+	checkLevels(t, []int64{300, 0xBEE, 200, 5}, func(u *classfile.Universe) *classfile.Method {
+		m, b := mainMethod(u)
+		b.Local("ia", kRef)
+		b.Local("ca", kRef)
+		b.Local("ba", kRef)
+		b.Local("ra", kRef)
+		b.Const(10).NewArray(u.IntArray).Store("ia")
+		b.Load("ia").Const(3).Const(300).AStore(kInt)
+		b.Load("ia").Const(3).ALoad(kInt).Result()
+		b.Const(4).NewArray(u.CharArray).Store("ca")
+		b.Load("ca").Const(1).Const(0xBEE).AStore(kChar)
+		b.Load("ca").Const(1).ALoad(kChar).Result()
+		b.Const(4).NewArray(u.ByteArray).Store("ba")
+		b.Load("ba").Const(2).Const(200).AStore(kByte)
+		b.Load("ba").Const(2).ALoad(kByte).Result()
+		b.Const(5).NewArray(u.RefArray).Store("ra")
+		b.Load("ra").Const(0).Load("ia").AStore(kRef)
+		b.Load("ra").ArrayLen().Result()
+		b.Return()
+		b.MustBuild()
+		return m
+	})
+}
+
+func TestFieldsAllKinds(t *testing.T) {
+	checkLevels(t, []int64{7, 0xABC, 250}, func(u *classfile.Universe) *classfile.Method {
+		c := u.DefineClass("Box", nil)
+		fi := u.AddField(c, "i", kInt)
+		fc := u.AddField(c, "c", kChar)
+		fb := u.AddField(c, "b", kByte)
+		m, b := mainMethod(u)
+		b.Local("o", kRef)
+		b.New(c).Store("o")
+		b.Load("o").Const(7).PutField(fi)
+		b.Load("o").Const(0xABC).PutField(fc)
+		b.Load("o").Const(250).PutField(fb)
+		b.Load("o").GetField(fi).Result()
+		b.Load("o").GetField(fc).Result()
+		b.Load("o").GetField(fb).Result()
+		b.Return()
+		b.MustBuild()
+		return m
+	})
+}
+
+func TestVirtualDispatchWithOverride(t *testing.T) {
+	checkLevels(t, []int64{10, 20}, func(u *classfile.Universe) *classfile.Method {
+		a := u.DefineClass("A", nil)
+		val := u.AddMethod(a, "val", true, []classfile.Kind{kRef}, kInt)
+		ba := bytecode.NewBuilder(u, val)
+		ba.Const(10).ReturnVal()
+		ba.MustBuild()
+		bcl := u.DefineClass("B", a)
+		valB := u.AddMethod(bcl, "val", true, []classfile.Kind{kRef}, kInt)
+		bb := bytecode.NewBuilder(u, valB)
+		bb.Const(20).ReturnVal()
+		bb.MustBuild()
+
+		m, b := mainMethod(u)
+		b.Local("o", kRef)
+		b.New(a).Store("o")
+		b.Load("o").InvokeVirtual(val).Result()
+		b.New(bcl).Store("o")
+		b.Load("o").InvokeVirtual(val).Result() // dispatches to B::val
+		b.Return()
+		b.MustBuild()
+		return m
+	})
+}
+
+func TestRecursion(t *testing.T) {
+	checkLevels(t, []int64{55}, func(u *classfile.Universe) *classfile.Method {
+		c := u.DefineClass("Fib", nil)
+		fib := u.AddMethod(c, "fib", false, []classfile.Kind{kInt}, kInt)
+		fb := bytecode.NewBuilder(u, fib)
+		fb.BindArg(0, "n")
+		fb.Load("n").Const(2).If(bytecode.OpIfGE, "rec")
+		fb.Load("n").ReturnVal()
+		fb.Label("rec")
+		fb.Load("n").Const(1).Sub().InvokeStatic(fib)
+		fb.Load("n").Const(2).Sub().InvokeStatic(fib)
+		fb.Add().ReturnVal()
+		fb.MustBuild()
+
+		m, b := mainMethod(u)
+		b.Const(10).InvokeStatic(fib).Result()
+		b.Return()
+		b.MustBuild()
+		return m
+	})
+}
+
+func TestEightArguments(t *testing.T) {
+	checkLevels(t, []int64{36}, func(u *classfile.Universe) *classfile.Method {
+		c := u.DefineClass("Args", nil)
+		args := make([]classfile.Kind, 8)
+		for i := range args {
+			args[i] = kInt
+		}
+		sum8 := u.AddMethod(c, "sum8", false, args, kInt)
+		sb := bytecode.NewBuilder(u, sum8)
+		sb.Load("arg0")
+		for i := 1; i < 8; i++ {
+			sb.Load(fmt.Sprintf("arg%d", i)).Add()
+		}
+		sb.ReturnVal()
+		sb.MustBuild()
+
+		m, b := mainMethod(u)
+		for i := int64(1); i <= 8; i++ {
+			b.Const(i)
+		}
+		b.InvokeStatic(sum8).Result()
+		b.Return()
+		b.MustBuild()
+		return m
+	})
+}
+
+func TestRegisterPressure(t *testing.T) {
+	// A deep expression keeps ~24 values live at once, forcing the opt
+	// compiler to spill.
+	n := 24
+	want := int64(0)
+	for i := 1; i <= n; i++ {
+		want += int64(i * i)
+	}
+	checkLevels(t, []int64{want}, func(u *classfile.Universe) *classfile.Method {
+		m, b := mainMethod(u)
+		for i := 1; i <= n; i++ {
+			b.Const(int64(i)).Const(int64(i)).Mul()
+		}
+		for i := 1; i < n; i++ {
+			b.Add()
+		}
+		b.Result()
+		b.Return()
+		b.MustBuild()
+		return m
+	})
+}
+
+func TestLiveRefsAcrossAllocation(t *testing.T) {
+	// References live in registers across an allocation must survive a
+	// GC triggered at that allocation (exercised harder in gc tests,
+	// but the compiled-code path is checked here).
+	checkLevels(t, []int64{11, 22}, func(u *classfile.Universe) *classfile.Method {
+		c := u.DefineClass("P", nil)
+		fv := u.AddField(c, "v", kInt)
+		m, b := mainMethod(u)
+		b.Local("a", kRef)
+		b.Local("i", kInt)
+		b.New(c).Store("a")
+		b.Load("a").Const(11).PutField(fv)
+		// Allocate enough garbage to force nursery collections while
+		// "a" stays live.
+		b.Label("churn")
+		b.Load("i").Const(100000).If(bytecode.OpIfGE, "done")
+		b.New(c).Const(22).PutField(fv)
+		b.Inc("i", 1)
+		b.Goto("churn")
+		b.Label("done")
+		b.Load("a").GetField(fv).Result()
+		b.New(c).Store("a")
+		b.Load("a").Const(22).PutField(fv)
+		b.Load("a").GetField(fv).Result()
+		b.Return()
+		b.MustBuild()
+		return m
+	})
+}
+
+func TestNullPointerTrap(t *testing.T) {
+	for _, level := range []int{0, 2} {
+		u := classfile.NewUniverse()
+		c := u.DefineClass("N", nil)
+		f := u.AddField(c, "v", kInt)
+		m, b := mainMethod(u)
+		b.Local("o", kRef)
+		b.Load("o").GetField(f).Result()
+		b.Return()
+		b.MustBuild()
+		u.Layout()
+		var plan runtime.CompilePlan
+		if level > 0 {
+			plan = vmtest.AllOpt(u, level)
+		}
+		_, vm, err := vmtest.Run(u, m, vmtest.Options{Plan: plan})
+		if err == nil || vm.Failure() == nil {
+			t.Fatalf("level %d: null dereference not detected", level)
+		}
+	}
+}
+
+func TestBoundsTrap(t *testing.T) {
+	for _, level := range []int{0, 2} {
+		u := classfile.NewUniverse()
+		m, b := mainMethod(u)
+		b.Local("a", kRef)
+		b.Const(4).NewArray(u.IntArray).Store("a")
+		b.Load("a").Const(4).ALoad(kInt).Result() // index == length
+		b.Return()
+		b.MustBuild()
+		u.Layout()
+		var plan runtime.CompilePlan
+		if level > 0 {
+			plan = vmtest.AllOpt(u, level)
+		}
+		_, vm, err := vmtest.Run(u, m, vmtest.Options{Plan: plan})
+		if err == nil || vm.Failure() == nil {
+			t.Fatalf("level %d: out-of-bounds not detected", level)
+		}
+	}
+}
+
+func TestNegativeIndexTrap(t *testing.T) {
+	u := classfile.NewUniverse()
+	m, b := mainMethod(u)
+	b.Local("a", kRef)
+	b.Const(4).NewArray(u.IntArray).Store("a")
+	b.Load("a").Const(-1).ALoad(kInt).Result()
+	b.Return()
+	b.MustBuild()
+	u.Layout()
+	_, vm, err := vmtest.Run(u, m, vmtest.Options{Plan: vmtest.AllOpt(u, 2)})
+	if err == nil || vm.Failure() == nil {
+		t.Fatal("negative index not detected")
+	}
+}
+
+// --- randomized differential test -------------------------------------------
+
+// exprNode is a random arithmetic expression over three arguments.
+type exprNode struct {
+	op          int // 0..7 ops, 8 = arg, 9 = const
+	left, right *exprNode
+	val         int64
+}
+
+func genExpr(r *rand.Rand, depth int) *exprNode {
+	if depth == 0 || r.Intn(4) == 0 {
+		if r.Intn(2) == 0 {
+			return &exprNode{op: 8, val: int64(r.Intn(3))} // arg index
+		}
+		return &exprNode{op: 9, val: int64(r.Intn(201) - 100)}
+	}
+	return &exprNode{
+		op:    r.Intn(8),
+		left:  genExpr(r, depth-1),
+		right: genExpr(r, depth-1),
+	}
+}
+
+func (e *exprNode) eval(args []int64) int64 {
+	switch e.op {
+	case 8:
+		return args[e.val]
+	case 9:
+		return e.val
+	}
+	l, rr := e.left.eval(args), e.right.eval(args)
+	switch e.op {
+	case 0:
+		return l + rr
+	case 1:
+		return l - rr
+	case 2:
+		return l * rr
+	case 3:
+		return l & rr
+	case 4:
+		return l | rr
+	case 5:
+		return l ^ rr
+	case 6:
+		return l << (uint64(rr) & 63)
+	default:
+		return l >> (uint64(rr) & 63)
+	}
+}
+
+func (e *exprNode) emit(b *bytecode.Builder) {
+	switch e.op {
+	case 8:
+		b.Load(fmt.Sprintf("arg%d", e.val))
+		return
+	case 9:
+		b.Const(e.val)
+		return
+	}
+	e.left.emit(b)
+	e.right.emit(b)
+	switch e.op {
+	case 0:
+		b.Add()
+	case 1:
+		b.Sub()
+	case 2:
+		b.Mul()
+	case 3:
+		b.And()
+	case 4:
+		b.Or()
+	case 5:
+		b.Xor()
+	case 6:
+		b.Shl()
+	default:
+		b.Sar()
+	}
+}
+
+// TestRandomExpressionsDifferential compiles random expression trees
+// with both compilers and compares against direct Go evaluation.
+func TestRandomExpressionsDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(20070611))
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		expr := genExpr(r, 5)
+		args := []int64{int64(r.Intn(1000) - 500), int64(r.Intn(1000) - 500), int64(r.Intn(1000) - 500)}
+		want := expr.eval(args)
+
+		u := classfile.NewUniverse()
+		c := u.DefineClass("Expr", nil)
+		fn := u.AddMethod(c, "fn", false, []classfile.Kind{kInt, kInt, kInt}, kInt)
+		fb := bytecode.NewBuilder(u, fn)
+		expr.emit(fb)
+		fb.ReturnVal()
+		fb.MustBuild()
+
+		mainM := u.AddMethod(c, "main", false, nil, kVoid)
+		b := bytecode.NewBuilder(u, mainM)
+		b.Const(args[0]).Const(args[1]).Const(args[2]).InvokeStatic(fn).Result()
+		b.Return()
+		b.MustBuild()
+		u.Layout()
+
+		for _, level := range []int{0, 1, 2} {
+			var plan runtime.CompilePlan
+			if level > 0 {
+				plan = vmtest.AllOpt(u, level)
+			}
+			// Fresh universes per level would rebuild everything;
+			// reusing one universe across VMs is fine because each VM
+			// compiles into its own code space.
+			got, _, err := vmtest.Run(u, mainM, vmtest.Options{Plan: plan})
+			if err != nil {
+				t.Fatalf("trial %d level %d: %v", trial, level, err)
+			}
+			if got[0] != want {
+				t.Fatalf("trial %d level %d: got %d, want %d", trial, level, got[0], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,376 @@
+package ir
+
+import (
+	"testing"
+
+	"hpmvm/internal/vm/bytecode"
+	"hpmvm/internal/vm/classfile"
+)
+
+func buildFunc(t *testing.T, setup func(u *classfile.Universe, c *classfile.Class),
+	body func(b *bytecode.Builder), args []classfile.Kind, ret classfile.Kind) (*classfile.Universe, *Func) {
+	t.Helper()
+	u := classfile.NewUniverse()
+	c := u.DefineClass("T", nil)
+	if setup != nil {
+		setup(u, c)
+	}
+	m := u.AddMethod(c, "m", false, args, ret)
+	b := bytecode.NewBuilder(u, m)
+	body(b)
+	code, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Layout()
+	f, err := Build(u, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, f
+}
+
+func countOp(f *Func, op Op) int {
+	n := 0
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if !in.Dead && in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestBuildStraightLine(t *testing.T) {
+	_, f := buildFunc(t, nil, func(b *bytecode.Builder) {
+		b.Const(2).Const(3).Add().ReturnVal()
+	}, nil, classfile.KindInt)
+	if len(f.Blocks) != 1 {
+		t.Fatalf("blocks = %d", len(f.Blocks))
+	}
+	if countOp(f, OpArith) != 1 || countOp(f, OpRetVal) != 1 {
+		t.Error("missing instructions")
+	}
+}
+
+func TestBuildBranches(t *testing.T) {
+	_, f := buildFunc(t, nil, func(b *bytecode.Builder) {
+		b.BindArg(0, "x")
+		b.Load("x").Const(0).If(bytecode.OpIfLT, "neg")
+		b.Load("x").ReturnVal()
+		b.Label("neg")
+		b.Load("x").Neg().ReturnVal()
+	}, []classfile.Kind{classfile.KindInt}, classfile.KindInt)
+	if len(f.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(f.Blocks))
+	}
+	b0 := f.Blocks[0]
+	if len(b0.Succs) != 2 {
+		t.Fatalf("entry successors = %v", b0.Succs)
+	}
+	if countOp(f, OpBranch) != 1 || countOp(f, OpNeg) != 1 {
+		t.Error("branch structure wrong")
+	}
+}
+
+func TestCrossBlockStackSpill(t *testing.T) {
+	// A value pushed before a conditional and consumed after the merge
+	// must travel through a spill temp local.
+	_, f := buildFunc(t, nil, func(b *bytecode.Builder) {
+		b.BindArg(0, "x")
+		b.Const(100) // pushed across the branch
+		b.Load("x").Const(0).If(bytecode.OpIfGE, "pos")
+		b.Pop().Const(0)
+		b.Label("pos")
+		b.ReturnVal()
+	}, []classfile.Kind{classfile.KindInt}, classfile.KindInt)
+	if f.NumLocals <= 1 {
+		t.Errorf("expected spill temp locals, NumLocals = %d", f.NumLocals)
+	}
+	if countOp(f, OpStoreLocal) == 0 {
+		t.Error("no spill stores emitted")
+	}
+}
+
+func TestForwardLocals(t *testing.T) {
+	_, f := buildFunc(t, nil, func(b *bytecode.Builder) {
+		b.Local("a", classfile.KindInt)
+		b.Const(5).Store("a")
+		b.Load("a").Load("a").Add().ReturnVal()
+	}, nil, classfile.KindInt)
+	before := countOp(f, OpLoadLocal)
+	ForwardLocals(f)
+	after := countOp(f, OpLoadLocal)
+	if after >= before {
+		t.Errorf("ForwardLocals removed nothing: %d -> %d", before, after)
+	}
+	if after != 0 {
+		t.Errorf("stored value should satisfy both loads, %d loads left", after)
+	}
+}
+
+func TestFoldConstants(t *testing.T) {
+	_, f := buildFunc(t, nil, func(b *bytecode.Builder) {
+		b.Const(6).Const(7).Mul().ReturnVal()
+	}, nil, classfile.KindInt)
+	FoldConstants(f)
+	if countOp(f, OpArith) != 0 {
+		t.Error("constant multiply not folded")
+	}
+	// The folded instruction must carry the result.
+	found := false
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if !in.Dead && in.Op == OpConst && in.Const == 42 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("folded constant 42 not present")
+	}
+}
+
+func TestFoldDivByZeroLeftAlone(t *testing.T) {
+	_, f := buildFunc(t, nil, func(b *bytecode.Builder) {
+		b.Const(6).Const(0).Div().ReturnVal()
+	}, nil, classfile.KindInt)
+	FoldConstants(f)
+	if countOp(f, OpArith) != 1 {
+		t.Error("division by constant zero must not be folded (it traps)")
+	}
+}
+
+func TestIdentities(t *testing.T) {
+	_, f := buildFunc(t, nil, func(b *bytecode.Builder) {
+		b.BindArg(0, "x")
+		b.Load("x").Const(0).Add().Const(1).Mul().ReturnVal()
+	}, []classfile.Kind{classfile.KindInt}, classfile.KindInt)
+	ForwardLocals(f)
+	FoldConstants(f)
+	EliminateDeadCode(f)
+	if countOp(f, OpArith) != 0 {
+		t.Errorf("x+0 and x*1 not simplified:\n%s", f)
+	}
+}
+
+func TestRedundantLoadElimination(t *testing.T) {
+	var fld *classfile.Field
+	_, f := buildFunc(t, func(u *classfile.Universe, c *classfile.Class) {
+		fld = u.AddField(c, "v", classfile.KindInt)
+	}, func(b *bytecode.Builder) {
+		b.BindArg(0, "o")
+		b.Load("o").GetField(fld).Load("o").GetField(fld).Add().ReturnVal()
+	}, []classfile.Kind{classfile.KindRef}, classfile.KindInt)
+	ForwardLocals(f)
+	EliminateRedundantLoads(f)
+	if got := countOp(f, OpGetField); got != 1 {
+		t.Errorf("redundant getfield not eliminated: %d loads", got)
+	}
+}
+
+func TestRedundantLoadInvalidatedByStore(t *testing.T) {
+	var fld *classfile.Field
+	_, f := buildFunc(t, func(u *classfile.Universe, c *classfile.Class) {
+		fld = u.AddField(c, "v", classfile.KindInt)
+	}, func(b *bytecode.Builder) {
+		b.BindArg(0, "o")
+		b.Load("o").GetField(fld).Pop()
+		b.Load("o").Const(9).PutField(fld)
+		b.Load("o").GetField(fld).ReturnVal()
+	}, []classfile.Kind{classfile.KindRef}, classfile.KindInt)
+	ForwardLocals(f)
+	EliminateRedundantLoads(f)
+	// The second load may reuse the STORED value, but must not reuse
+	// the stale first load. Check: either one load left (forwarded
+	// from the putfield) or two loads; never zero with the stale value.
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Dead || in.Op != OpRetVal {
+				continue
+			}
+			def := f.Value(in.Args[0])
+			if def.Op == OpConst && def.Const != 9 {
+				t.Error("return value forwarded from the stale load")
+			}
+		}
+	}
+}
+
+func TestDCE(t *testing.T) {
+	_, f := buildFunc(t, nil, func(b *bytecode.Builder) {
+		b.Const(1).Pop() // dead constant
+		b.Const(2).ReturnVal()
+	}, nil, classfile.KindInt)
+	EliminateDeadCode(f)
+	if got := countOp(f, OpConst); got != 1 {
+		t.Errorf("dead constant survives: %d consts", got)
+	}
+}
+
+func TestDCEKeepsMemoryReads(t *testing.T) {
+	var fld *classfile.Field
+	_, f := buildFunc(t, func(u *classfile.Universe, c *classfile.Class) {
+		fld = u.AddField(c, "v", classfile.KindInt)
+	}, func(b *bytecode.Builder) {
+		b.BindArg(0, "o")
+		b.Load("o").GetField(fld).Pop() // unused load: null check is a side effect
+		b.Const(0).ReturnVal()
+	}, []classfile.Kind{classfile.KindRef}, classfile.KindInt)
+	Optimize(f, 2)
+	if countOp(f, OpGetField) != 1 {
+		t.Error("DCE removed a memory read (would drop its null check)")
+	}
+}
+
+func TestAccessPairs(t *testing.T) {
+	// p.y.i: the load of i pairs with reference field y (§5.2 example).
+	var fy, fi *classfile.Field
+	_, f := buildFunc(t, func(u *classfile.Universe, c *classfile.Class) {
+		fy = u.AddField(c, "y", classfile.KindRef)
+		fi = u.AddField(c, "i", classfile.KindInt)
+	}, func(b *bytecode.Builder) {
+		b.BindArg(0, "p")
+		b.Load("p").GetField(fy).GetField(fi).ReturnVal()
+	}, []classfile.Kind{classfile.KindRef}, classfile.KindInt)
+	pairs := AccessPairs(f)
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %d, want 1", len(pairs))
+	}
+	if pairs[0].F != fy {
+		t.Errorf("paired field = %s, want y", pairs[0].F.Name)
+	}
+	if pairs[0].S.Op != OpGetField || pairs[0].S.Field != fi {
+		t.Errorf("S = %v", pairs[0].S)
+	}
+}
+
+func TestAccessPairsArrayThroughField(t *testing.T) {
+	// s.value[i]: the array load pairs with String::value.
+	var fv *classfile.Field
+	u, f := buildFunc(t, func(u *classfile.Universe, c *classfile.Class) {
+		fv = u.AddField(c, "value", classfile.KindRef)
+	}, func(b *bytecode.Builder) {
+		b.BindArg(0, "s")
+		b.Load("s").GetField(fv).Const(0).ALoad(classfile.KindChar).ReturnVal()
+	}, []classfile.Kind{classfile.KindRef}, classfile.KindInt)
+	_ = u
+	pairs := AccessPairs(f)
+	if len(pairs) != 1 || pairs[0].F != fv || pairs[0].S.Op != OpALoad {
+		t.Fatalf("pairs = %v", pairs)
+	}
+}
+
+func TestAccessPairsNoneFromLocals(t *testing.T) {
+	// A dereference of a plain local pairs with nothing.
+	var fi *classfile.Field
+	_, f := buildFunc(t, func(u *classfile.Universe, c *classfile.Class) {
+		fi = u.AddField(c, "i", classfile.KindInt)
+	}, func(b *bytecode.Builder) {
+		b.BindArg(0, "p")
+		b.Load("p").GetField(fi).ReturnVal()
+	}, []classfile.Kind{classfile.KindRef}, classfile.KindInt)
+	if pairs := AccessPairs(f); len(pairs) != 0 {
+		t.Errorf("unexpected pairs %v", pairs)
+	}
+}
+
+func TestSeqAssignedToAllInstrs(t *testing.T) {
+	_, f := buildFunc(t, nil, func(b *bytecode.Builder) {
+		b.Const(1).Result()
+		b.Return()
+	}, nil, classfile.KindVoid)
+	seen := map[int]bool{}
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if seen[in.Seq] {
+				t.Fatalf("duplicate Seq %d", in.Seq)
+			}
+			seen[in.Seq] = true
+			if f.InstrBySeq(in.Seq) != in {
+				t.Fatalf("InstrBySeq(%d) mismatch", in.Seq)
+			}
+		}
+	}
+}
+
+func TestLocalProvenance(t *testing.T) {
+	// av = p.value; loop { ... av[i] ... } — av's only store comes from
+	// GetField(value), so accesses through av pair with value.
+	var fv *classfile.Field
+	_, f := buildFunc(t, func(u *classfile.Universe, c *classfile.Class) {
+		fv = u.AddField(c, "value", classfile.KindRef)
+	}, func(b *bytecode.Builder) {
+		b.BindArg(0, "p")
+		b.Local("av", classfile.KindRef)
+		b.Local("i", classfile.KindInt)
+		b.Local("s", classfile.KindInt)
+		b.Load("p").GetField(fv).Store("av")
+		b.Label("loop")
+		b.Load("i").Const(4).If(bytecode.OpIfGE, "done")
+		b.Load("s").Load("av").Load("i").ALoad(classfile.KindChar).Add().Store("s")
+		b.Inc("i", 1)
+		b.Goto("loop")
+		b.Label("done")
+		b.Load("s").ReturnVal()
+	}, []classfile.Kind{classfile.KindRef}, classfile.KindInt)
+
+	prov := LocalProvenance(f)
+	if got := prov[1]; got != fv { // local 1 = "av"
+		t.Fatalf("provenance of av = %v, want value", got)
+	}
+	// Plain analysis misses the loop-body access; the extension finds it.
+	plain := AccessPairs(f)
+	ext := ExtendedAccessPairs(f)
+	if len(ext) <= len(plain) {
+		t.Fatalf("extension added nothing: %d vs %d", len(ext), len(plain))
+	}
+	found := false
+	for _, p := range ext {
+		if p.S.Op == OpALoad && p.F == fv {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("loop-carried array access not paired with String-like field")
+	}
+}
+
+func TestLocalProvenancePoisoned(t *testing.T) {
+	// A local stored from two different fields (or a non-field) has no
+	// single provenance.
+	var fa, fb *classfile.Field
+	_, f := buildFunc(t, func(u *classfile.Universe, c *classfile.Class) {
+		fa = u.AddField(c, "a", classfile.KindRef)
+		fb = u.AddField(c, "b", classfile.KindRef)
+	}, func(b *bytecode.Builder) {
+		b.BindArg(0, "p")
+		b.BindArg(1, "cond")
+		b.Local("x", classfile.KindRef)
+		b.Load("cond").Const(0).If(bytecode.OpIfEQ, "else")
+		b.Load("p").GetField(fa).Store("x")
+		b.Goto("join")
+		b.Label("else")
+		b.Load("p").GetField(fb).Store("x")
+		b.Label("join")
+		b.Load("x").ReturnVal()
+	}, []classfile.Kind{classfile.KindRef, classfile.KindInt}, classfile.KindRef)
+	prov := LocalProvenance(f)
+	if len(prov) != 0 {
+		t.Fatalf("conflicting stores should poison: %v", prov)
+	}
+}
+
+func TestLocalProvenanceArgsExcluded(t *testing.T) {
+	var fv *classfile.Field
+	_, f := buildFunc(t, func(u *classfile.Universe, c *classfile.Class) {
+		fv = u.AddField(c, "v", classfile.KindInt)
+	}, func(b *bytecode.Builder) {
+		b.BindArg(0, "p")
+		b.Load("p").GetField(fv).ReturnVal()
+	}, []classfile.Kind{classfile.KindRef}, classfile.KindInt)
+	if prov := LocalProvenance(f); len(prov) != 0 {
+		t.Fatalf("argument locals must have unknown provenance: %v", prov)
+	}
+}

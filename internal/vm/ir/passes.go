@@ -1,0 +1,362 @@
+package ir
+
+import "hpmvm/internal/vm/classfile"
+
+// Optimize runs the standard pass pipeline at the given optimization
+// level (1 = local forwarding + folding + DCE, 2 adds redundant-load
+// elimination). The AOS chooses the level from its cost/benefit model.
+func Optimize(f *Func, level int) {
+	if level < 1 {
+		return
+	}
+	ForwardLocals(f)
+	FoldConstants(f)
+	if level >= 2 {
+		EliminateRedundantLoads(f)
+	}
+	EliminateDeadCode(f)
+}
+
+// replaceUses rewrites every argument in the block according to the
+// alias map (applied transitively).
+func resolveAlias(alias map[int]int, v int) int {
+	for {
+		nv, ok := alias[v]
+		if !ok {
+			return v
+		}
+		v = nv
+	}
+}
+
+// ForwardLocals eliminates redundant local-variable loads inside each
+// block: a load observing a value that was just stored (or previously
+// loaded) reuses the existing value instead of reloading. Locals are
+// frame-private, so calls do not invalidate the cache; moving-GC
+// safety is preserved because live reference values in registers are
+// updated through the GC maps.
+func ForwardLocals(f *Func) {
+	for _, blk := range f.Blocks {
+		known := make(map[int]int) // local -> value id
+		alias := make(map[int]int) // value id -> replacement
+		for _, in := range blk.Instrs {
+			if in.Dead {
+				continue
+			}
+			for i, a := range in.Args {
+				in.Args[i] = resolveAlias(alias, a)
+			}
+			switch in.Op {
+			case OpLoadLocal:
+				if v, ok := known[in.Local]; ok {
+					alias[in.ID] = v
+					in.Dead = true
+				} else {
+					known[in.Local] = in.ID
+				}
+			case OpStoreLocal:
+				known[in.Local] = in.Args[0]
+			}
+		}
+	}
+}
+
+// FoldConstants folds arithmetic over constant operands into constants
+// and simplifies trivial identities (x+0, x*1, x*0).
+func FoldConstants(f *Func) {
+	for _, blk := range f.Blocks {
+		alias := make(map[int]int)
+		for _, in := range blk.Instrs {
+			if in.Dead {
+				continue
+			}
+			for i, a := range in.Args {
+				in.Args[i] = resolveAlias(alias, a)
+			}
+			if in.Op != OpArith {
+				continue
+			}
+			a, b := f.values[in.Args[0]], f.values[in.Args[1]]
+			aConst := a.Op == OpConst && !a.Dead
+			bConst := b.Op == OpConst && !b.Dead
+			op := ArithOp(in.Const)
+			if aConst && bConst {
+				v, ok := evalArith(op, a.Const, b.Const)
+				if !ok {
+					continue // fold would trap (division by zero)
+				}
+				in.Op = OpConst
+				in.Const = v
+				in.Args = nil
+				continue
+			}
+			// Identities.
+			if bConst {
+				switch {
+				case b.Const == 0 && (op == Add || op == Sub || op == Or || op == Xor || op == Shl || op == Shr || op == Sar):
+					alias[in.ID] = in.Args[0]
+					in.Dead = true
+				case b.Const == 1 && op == Mul:
+					alias[in.ID] = in.Args[0]
+					in.Dead = true
+				case b.Const == 0 && op == Mul:
+					in.Op = OpConst
+					in.Const = 0
+					in.Args = nil
+				}
+			}
+		}
+	}
+}
+
+func evalArith(op ArithOp, a, b int64) (int64, bool) {
+	switch op {
+	case Add:
+		return a + b, true
+	case Sub:
+		return a - b, true
+	case Mul:
+		return a * b, true
+	case Div:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case Rem:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case And:
+		return a & b, true
+	case Or:
+		return a | b, true
+	case Xor:
+		return a ^ b, true
+	case Shl:
+		return a << (uint64(b) & 63), true
+	case Shr:
+		return int64(uint64(a) >> (uint64(b) & 63)), true
+	case Sar:
+		return a >> (uint64(b) & 63), true
+	}
+	return 0, false
+}
+
+// EliminateRedundantLoads performs local common-subexpression
+// elimination on GetField and ArrayLen: repeated reads of the same
+// field on the same object (with no intervening store to that field
+// and no call) reuse the earlier value.
+func EliminateRedundantLoads(f *Func) {
+	type fieldKey struct {
+		obj   int
+		field *classfile.Field
+	}
+	for _, blk := range f.Blocks {
+		fields := make(map[fieldKey]int)
+		lens := make(map[int]int)
+		alias := make(map[int]int)
+		for _, in := range blk.Instrs {
+			if in.Dead {
+				continue
+			}
+			for i, a := range in.Args {
+				in.Args[i] = resolveAlias(alias, a)
+			}
+			switch in.Op {
+			case OpGetField:
+				k := fieldKey{obj: in.Args[0], field: in.Field}
+				if v, ok := fields[k]; ok {
+					alias[in.ID] = v
+					in.Dead = true
+				} else {
+					fields[k] = in.ID
+				}
+			case OpPutField:
+				// A store invalidates cached reads of the same field on
+				// any object (conservative aliasing), then caches the
+				// stored value for its own object.
+				for k := range fields {
+					if k.field == in.Field {
+						delete(fields, k)
+					}
+				}
+				fields[fieldKey{obj: in.Args[0], field: in.Field}] = in.Args[1]
+			case OpArrayLen:
+				if v, ok := lens[in.Args[0]]; ok {
+					alias[in.ID] = v
+					in.Dead = true
+				} else {
+					lens[in.Args[0]] = in.ID
+				}
+			case OpCallStatic, OpCallVirtual:
+				// Calls may store to any field.
+				fields = make(map[fieldKey]int)
+			}
+		}
+	}
+}
+
+// EliminateDeadCode removes pure instructions whose values are never
+// used. Memory reads are kept (their null/bounds checks are part of
+// program semantics), so DCE only touches constants, local loads and
+// arithmetic.
+func EliminateDeadCode(f *Func) {
+	used := make([]bool, len(f.values))
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Dead {
+				continue
+			}
+			for _, a := range in.Args {
+				used[a] = true
+			}
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				if in.Dead || !in.HasDef() || used[in.ID] {
+					continue
+				}
+				switch in.Op {
+				case OpConst, OpConstRef, OpLoadLocal, OpArith, OpNeg:
+					in.Dead = true
+					changed = true
+				}
+			}
+		}
+		if changed {
+			// Recompute the use set after a sweep; a killed user may
+			// free its operands.
+			for i := range used {
+				used[i] = false
+			}
+			for _, blk := range f.Blocks {
+				for _, in := range blk.Instrs {
+					if in.Dead {
+						continue
+					}
+					for _, a := range in.Args {
+						used[a] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// AccessPair records that heap-access instruction S dereferences an
+// object loaded from reference field F — the (S, f) instruction pairs
+// of §5.2. When a cache-miss sample lands on S, the monitor charges the
+// miss to F, and the GC will try to co-allocate F's referent with its
+// parent.
+type AccessPair struct {
+	S *Instr
+	F *classfile.Field
+}
+
+// AccessPairs walks use-def edges upward from every heap access
+// instruction (field/array access, virtual calls, object-header
+// access) and pairs it with the reference field its target object was
+// loaded from, if any.
+func AccessPairs(f *Func) []AccessPair {
+	var pairs []AccessPair
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Dead || !in.IsHeapAccess() {
+				continue
+			}
+			obj := in.ObjectArg()
+			if obj == NoValue {
+				continue
+			}
+			def := f.values[obj]
+			if def.Op == OpGetField && def.Field.Kind == classfile.KindRef {
+				pairs = append(pairs, AccessPair{S: in, F: def.Field})
+			}
+		}
+	}
+	return pairs
+}
+
+// LocalProvenance computes a flow-insensitive provenance map for local
+// variables: local l maps to reference field f when *every* store to l
+// anywhere in the function stores a value defined by GetField(f) (and
+// at least one store exists). The Jikes opt compiler's use-def edges
+// span basic blocks; our block-local chains miss loop-carried access
+// paths like
+//
+//	av = a.value
+//	for ... { ... av[i] ... }   // av reloaded from a local each block
+//
+// and this analysis recovers them. Argument locals have unknown caller
+// provenance and never qualify.
+func LocalProvenance(f *Func) map[int]*classfile.Field {
+	numArgs := len(f.Method.Args)
+	prov := make(map[int]*classfile.Field)
+	poisoned := make(map[int]bool)
+	for i := 0; i < numArgs; i++ {
+		poisoned[i] = true
+	}
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Dead || in.Op != OpStoreLocal {
+				continue
+			}
+			l := in.Local
+			if poisoned[l] {
+				continue
+			}
+			def := f.values[in.Args[0]]
+			if def.Op == OpGetField && def.Field.Kind == classfile.KindRef {
+				if cur, ok := prov[l]; ok && cur != def.Field {
+					poisoned[l] = true
+					delete(prov, l)
+				} else {
+					prov[l] = def.Field
+				}
+				continue
+			}
+			poisoned[l] = true
+			delete(prov, l)
+		}
+	}
+	return prov
+}
+
+// ExtendedAccessPairs runs AccessPairs plus the local-provenance
+// extension: heap accesses whose object operand is a LoadLocal of a
+// single-provenance local pair with that local's source field.
+func ExtendedAccessPairs(f *Func) []AccessPair {
+	pairs := AccessPairs(f)
+	prov := LocalProvenance(f)
+	if len(prov) == 0 {
+		return pairs
+	}
+	seen := make(map[*Instr]bool, len(pairs))
+	for _, p := range pairs {
+		seen[p.S] = true
+	}
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Dead || !in.IsHeapAccess() || seen[in] {
+				continue
+			}
+			obj := in.ObjectArg()
+			if obj == NoValue {
+				continue
+			}
+			def := f.values[obj]
+			if def.Op != OpLoadLocal {
+				continue
+			}
+			if fld, ok := prov[def.Local]; ok {
+				pairs = append(pairs, AccessPair{S: in, F: fld})
+			}
+		}
+	}
+	return pairs
+}

@@ -1,0 +1,109 @@
+package runtime
+
+import (
+	"fmt"
+
+	"hpmvm/internal/vm/bytecode"
+	"hpmvm/internal/vm/classfile"
+	"hpmvm/internal/vm/compiler/baseline"
+	"hpmvm/internal/vm/compiler/opt"
+	"hpmvm/internal/vm/mcmap"
+)
+
+// CompilePlan maps method IDs to optimization levels: level 0 means
+// baseline, levels 1+ select the optimizing compiler. The paper's
+// experiments run a "pseudo-adaptive" configuration where each program
+// executes under a pre-generated plan so every run optimizes exactly
+// the same methods (§6.1); plans are produced by recording an adaptive
+// run (package aos).
+type CompilePlan map[int]int
+
+// BuildDispatch allocates the vtables in the immortal space and
+// publishes the vtable map. Must run once before CompileAll.
+func (vm *VM) BuildDispatch() {
+	vtMapBase := vm.CPU.Config().VTableMapBase
+	for _, cl := range vm.U.Classes() {
+		if len(cl.VTable) == 0 {
+			continue
+		}
+		vt := vm.Immortal.Alloc(uint64(8 * ((len(cl.VTable) + 1) &^ 1)))
+		if vt == 0 {
+			panic("runtime: immortal space exhausted for vtables")
+		}
+		vm.Mem.Write8(vtMapBase+uint64(cl.ID)*8, vt)
+		// Entries are filled as methods get compiled.
+	}
+}
+
+// CompileAll compiles every method that has bytecode: baseline by
+// default, the optimizing compiler for methods named in the plan. This
+// models the boot of the pseudo-adaptive configuration.
+func (vm *VM) CompileAll(plan CompilePlan) error {
+	for _, m := range vm.U.Methods() {
+		if m.Code == nil {
+			continue
+		}
+		level := 0
+		if plan != nil {
+			level = plan[m.ID]
+		}
+		if err := vm.CompileMethod(m, level); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompileMethod compiles (or recompiles) one method at the given level
+// and publishes it in the dispatch tables. Previously installed bodies
+// are marked obsolete but stay mapped (§4.2: compiled code lives in
+// the immortal space and is never collected or moved).
+func (vm *VM) CompileMethod(m *classfile.Method, level int) error {
+	code, ok := m.Code.(*bytecode.Code)
+	if !ok || code == nil {
+		return fmt.Errorf("runtime: method %s has no bytecode", m.QualifiedName())
+	}
+	var body *mcmap.MCMap
+	if level > 0 {
+		res, err := opt.Compile(vm.U, vm.CPU, code, level)
+		if err != nil {
+			return err
+		}
+		body = res.Map
+		vm.SetOptInfo(m.ID, res)
+	} else {
+		body = baseline.Compile(vm.U, vm.CPU, code)
+	}
+
+	// Obsolete any previous body for this method.
+	for _, e := range vm.Table.Bodies() {
+		if e.Method == m && !e.Obsolete {
+			e.Obsolete = true
+		}
+	}
+	vm.Table.Register(body)
+
+	// Publish: method entry table slot, then every vtable slot bound
+	// to this method (subclasses inherit the same *Method).
+	vm.Mem.Write8(vm.CPU.Config().MethodTableBase+uint64(m.ID)*8, body.Start)
+	if m.Virtual {
+		vtMapBase := vm.CPU.Config().VTableMapBase
+		for _, cl := range vm.U.Classes() {
+			for slot, impl := range cl.VTable {
+				if impl == m {
+					vt := vm.Mem.Read8(vtMapBase + uint64(cl.ID)*8)
+					vm.Mem.Write8(vt+uint64(slot)*8, body.Start)
+				}
+			}
+		}
+	}
+	for _, fn := range vm.onRecompile {
+		fn(m.ID)
+	}
+	return nil
+}
+
+// MethodEntry returns the current entry address for a method.
+func (vm *VM) MethodEntry(m *classfile.Method) uint64 {
+	return vm.Mem.Read8(vm.CPU.Config().MethodTableBase + uint64(m.ID)*8)
+}

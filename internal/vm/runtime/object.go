@@ -1,0 +1,201 @@
+package runtime
+
+import (
+	"fmt"
+
+	"hpmvm/internal/vm/classfile"
+)
+
+// Object-model helpers. All "timed" variants go through the CPU's
+// memory hierarchy (GC and monitor work shares caches and cycles with
+// the application); the "raw" variants bypass timing and are reserved
+// for setup (boot-image construction) and for tests.
+
+// ClassIDOf reads the class ID from an object header (timed).
+func (vm *VM) ClassIDOf(obj uint64) uint32 {
+	return vm.CPU.LoadHalf(obj + classfile.OffClassID)
+}
+
+// ClassOf resolves an object's class (timed header read).
+func (vm *VM) ClassOf(obj uint64) *classfile.Class {
+	return vm.U.Class(int(vm.ClassIDOf(obj)))
+}
+
+// FlagsOf reads the header flags (timed).
+func (vm *VM) FlagsOf(obj uint64) uint32 {
+	return vm.CPU.LoadHalf(obj + classfile.OffFlags)
+}
+
+// SetFlags writes the header flags (timed).
+func (vm *VM) SetFlags(obj uint64, flags uint32) {
+	vm.CPU.StoreHalf(obj+classfile.OffFlags, flags)
+}
+
+// ArrayLenOf reads an array's length (timed).
+func (vm *VM) ArrayLenOf(obj uint64) uint64 {
+	return uint64(vm.CPU.LoadHalf(obj + classfile.OffArrayLen))
+}
+
+// SizeOf computes an object's total size from its header (timed).
+func (vm *VM) SizeOf(obj uint64) uint64 {
+	cl := vm.ClassOf(obj)
+	if cl.IsArray {
+		return cl.ArraySize(vm.ArrayLenOf(obj))
+	}
+	return cl.InstanceSize
+}
+
+// Forwarded reports whether the object header carries a forwarding
+// pointer, returning the destination.
+func (vm *VM) Forwarded(obj uint64) (uint64, bool) {
+	if vm.FlagsOf(obj)&classfile.FlagForwarded == 0 {
+		return 0, false
+	}
+	return vm.CPU.LoadWord(obj + classfile.OffForwarding), true
+}
+
+// SetForwarding installs a forwarding pointer in the old copy (timed).
+func (vm *VM) SetForwarding(obj, to uint64) {
+	vm.SetFlags(obj, vm.FlagsOf(obj)|classfile.FlagForwarded)
+	vm.CPU.StoreWord(obj+classfile.OffForwarding, to)
+}
+
+// CopyObject copies size bytes of object data word by word through the
+// memory hierarchy (evacuation traffic is real cache traffic).
+func (vm *VM) CopyObject(dst, src, size uint64) {
+	for off := uint64(0); off < size; off += 8 {
+		vm.CPU.StoreWord(dst+off, vm.CPU.LoadWord(src+off))
+	}
+}
+
+// ForEachRef invokes fn with the address of every reference slot in
+// the object (fields of scalar objects, elements of reference arrays).
+// Header reads are timed; fn itself performs the slot accesses.
+func (vm *VM) ForEachRef(obj uint64, fn func(slot uint64)) {
+	cl := vm.ClassOf(obj)
+	if cl.IsArray {
+		if cl.ElemKind == classfile.KindRef {
+			n := vm.ArrayLenOf(obj)
+			for i := uint64(0); i < n; i++ {
+				fn(obj + classfile.HeaderSize + i*8)
+			}
+		}
+		return
+	}
+	for _, off := range cl.RefOffsets {
+		fn(obj + off)
+	}
+}
+
+// initObject writes a fresh header and zeroes the payload (timed).
+func (vm *VM) initObject(addr uint64, cl *classfile.Class, size uint64, arrayLen uint64) {
+	// Header: class ID + cleared flags in one word, array length /
+	// forwarding word zeroed.
+	vm.CPU.StoreHalf(addr+classfile.OffClassID, uint32(cl.ID))
+	vm.CPU.StoreHalf(addr+classfile.OffFlags, 0)
+	vm.CPU.StoreWord(addr+classfile.OffArrayLen, arrayLen)
+	for off := uint64(classfile.HeaderSize); off < size; off += 8 {
+		vm.CPU.StoreWord(addr+off, 0)
+	}
+}
+
+// --- Boot-image (immortal) object construction: untimed setup API ---
+
+// NewImmortalObject allocates and initializes a scalar object in the
+// immortal space. Immortal objects are never collected or moved;
+// reference constants in bytecode resolve to such objects.
+func (vm *VM) NewImmortalObject(cl *classfile.Class) uint64 {
+	if cl.IsArray {
+		panic(fmt.Sprintf("runtime: NewImmortalObject on array class %s", cl.Name))
+	}
+	addr := vm.Immortal.Alloc(cl.InstanceSize)
+	if addr == 0 {
+		panic("runtime: immortal space exhausted")
+	}
+	vm.rawInit(addr, cl, cl.InstanceSize, 0)
+	return addr
+}
+
+// NewImmortalArray allocates and initializes an array in the immortal
+// space.
+func (vm *VM) NewImmortalArray(cl *classfile.Class, n uint64) uint64 {
+	if !cl.IsArray {
+		panic(fmt.Sprintf("runtime: NewImmortalArray on scalar class %s", cl.Name))
+	}
+	size := cl.ArraySize(n)
+	addr := vm.Immortal.Alloc(size)
+	if addr == 0 {
+		panic("runtime: immortal space exhausted")
+	}
+	vm.rawInit(addr, cl, size, n)
+	return addr
+}
+
+func (vm *VM) rawInit(addr uint64, cl *classfile.Class, size, arrayLen uint64) {
+	vm.Mem.Zero(addr, size)
+	vm.Mem.Write4(addr+classfile.OffClassID, uint32(cl.ID))
+	vm.Mem.Write8(addr+classfile.OffArrayLen, arrayLen)
+}
+
+// RawSetField writes a field without timing (setup only).
+func (vm *VM) RawSetField(obj uint64, f *classfile.Field, v uint64) {
+	switch f.Kind {
+	case classfile.KindChar:
+		vm.Mem.Write2(obj+f.Offset, uint16(v))
+	case classfile.KindByte:
+		vm.Mem.Write1(obj+f.Offset, uint8(v))
+	default:
+		vm.Mem.Write8(obj+f.Offset, v)
+	}
+}
+
+// RawGetField reads a field without timing (tests and verification).
+func (vm *VM) RawGetField(obj uint64, f *classfile.Field) uint64 {
+	switch f.Kind {
+	case classfile.KindChar:
+		return uint64(vm.Mem.Read2(obj + f.Offset))
+	case classfile.KindByte:
+		return uint64(vm.Mem.Read1(obj + f.Offset))
+	default:
+		return vm.Mem.Read8(obj + f.Offset)
+	}
+}
+
+// RawSetElem writes an array element without timing (setup only).
+func (vm *VM) RawSetElem(arr uint64, cl *classfile.Class, i uint64, v uint64) {
+	base := arr + classfile.HeaderSize
+	switch cl.ElemKind {
+	case classfile.KindChar:
+		vm.Mem.Write2(base+i*2, uint16(v))
+	case classfile.KindByte:
+		vm.Mem.Write1(base+i, uint8(v))
+	default:
+		vm.Mem.Write8(base+i*8, v)
+	}
+}
+
+// RawGetElem reads an array element without timing.
+func (vm *VM) RawGetElem(arr uint64, cl *classfile.Class, i uint64) uint64 {
+	base := arr + classfile.HeaderSize
+	switch cl.ElemKind {
+	case classfile.KindChar:
+		return uint64(vm.Mem.Read2(base + i*2))
+	case classfile.KindByte:
+		return uint64(vm.Mem.Read1(base + i))
+	default:
+		return vm.Mem.Read8(base + i*8)
+	}
+}
+
+// NewImmortalString builds a String-like constant: an instance of
+// stringClass whose valueField references a fresh immortal char array
+// holding text. Used by workloads to seed reference constants.
+func (vm *VM) NewImmortalString(stringClass *classfile.Class, valueField *classfile.Field, text string) uint64 {
+	arr := vm.NewImmortalArray(vm.U.CharArray, uint64(len(text)))
+	for i := 0; i < len(text); i++ {
+		vm.RawSetElem(arr, vm.U.CharArray, uint64(i), uint64(text[i]))
+	}
+	s := vm.NewImmortalObject(stringClass)
+	vm.RawSetField(s, valueField, arr)
+	return s
+}

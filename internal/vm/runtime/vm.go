@@ -1,0 +1,205 @@
+// Package runtime is the virtual machine core: it owns the simulated
+// address-space layout, the object model, the dispatch tables, the
+// trap handler that services compiled code (allocation, results,
+// exceptions), GC root enumeration via the compilers' GC maps, and the
+// execution loop that interleaves application progress with the
+// "threads" of the VM (the AOS sampler and the HPM collector thread),
+// all in deterministic simulated time.
+package runtime
+
+import (
+	"fmt"
+
+	"hpmvm/internal/gc/heap"
+	"hpmvm/internal/hw/cache"
+	"hpmvm/internal/hw/cpu"
+	"hpmvm/internal/hw/mem"
+	"hpmvm/internal/vm/classfile"
+	"hpmvm/internal/vm/mcmap"
+)
+
+// Collector is the garbage-collection policy plugged into the VM.
+// Implementations: the generational mark-sweep collector with
+// co-allocation (gc/genms) and the generational copying collector
+// (gc/gencopy).
+type Collector interface {
+	// Name identifies the policy ("GenMS", "GenCopy").
+	Name() string
+	// Alloc returns a fresh, uninitialized cell of the given size for
+	// a new object, running collections as needed. It returns 0 only
+	// when the heap is genuinely exhausted (OOM).
+	Alloc(size uint64) uint64
+	// Collections returns (minor, major) collection counts.
+	Collections() (minor, major uint64)
+	// HeapLimit returns the configured total heap budget in bytes.
+	HeapLimit() uint64
+}
+
+// Ticker is periodic VM-internal work driven by simulated time (the
+// AOS method sampler, the HPM collector thread's poll loop).
+type Ticker interface {
+	// Deadline returns the cycle count at which Tick should next run.
+	Deadline() uint64
+	// Tick performs the work and must advance Deadline.
+	Tick()
+}
+
+// StackSize is the machine call-stack budget.
+const StackSize = 512 * 1024
+
+// VM ties the simulated hardware, the compiled-code universe, and the
+// collector together.
+type VM struct {
+	U    *classfile.Universe
+	Mem  *mem.Memory
+	Hier *cache.Hierarchy
+	CPU  *cpu.CPU
+
+	Table     *mcmap.Table
+	Collector Collector
+	Immortal  *heap.BumpSpace
+
+	// OptInfo holds, per method ID, the latest optimizing-compiler
+	// result (IR and access pairs) for the monitor. The concrete type
+	// is *opt.Result; it is declared as any to keep the package graph
+	// acyclic (runtime must not import the compiler it drives).
+	optInfo map[int]any
+
+	tickers []Ticker
+
+	results []int64
+	failure error
+	started bool
+
+	// Cost model for VM services.
+	AllocTrapCycles uint64 // fixed overhead per allocation trap
+
+	// Counters.
+	allocations   uint64
+	allocatedByte uint64
+
+	// onRecompile hooks observe method recompilation (monitor refresh).
+	onRecompile []func(methodID int)
+}
+
+// New builds a VM over fresh hardware with the default P4 hierarchy.
+func New(u *classfile.Universe, hierCfg cache.Config) *VM {
+	m := mem.New()
+	h := cache.New(hierCfg)
+	c := cpu.New(m, h, cpu.DefaultConfig())
+	vm := &VM{
+		U:               u,
+		Mem:             m,
+		Hier:            h,
+		CPU:             c,
+		Table:           &mcmap.Table{},
+		Immortal:        heap.NewBumpSpace("immortal", heap.ImmortalBase, heap.ImmortalEnd),
+		optInfo:         make(map[int]any),
+		AllocTrapCycles: 30,
+	}
+	c.SetTrapHandler(vm)
+	return vm
+}
+
+// AddTicker registers periodic VM work.
+func (vm *VM) AddTicker(t Ticker) { vm.tickers = append(vm.tickers, t) }
+
+// OnRecompile registers a hook invoked after a method is recompiled.
+func (vm *VM) OnRecompile(fn func(methodID int)) {
+	vm.onRecompile = append(vm.onRecompile, fn)
+}
+
+// SetOptInfo records the optimizing-compiler result for a method.
+func (vm *VM) SetOptInfo(methodID int, info any) { vm.optInfo[methodID] = info }
+
+// OptInfo returns the optimizing-compiler result for a method, or nil.
+func (vm *VM) OptInfo(methodID int) any { return vm.optInfo[methodID] }
+
+// Results returns the values the program emitted via the result trap.
+func (vm *VM) Results() []int64 { return vm.results }
+
+// Failure returns the fatal error raised by a trap (null dereference,
+// out-of-bounds, out-of-memory), or nil.
+func (vm *VM) Failure() error { return vm.failure }
+
+// Allocations returns the object count and byte count allocated.
+func (vm *VM) Allocations() (objects, bytes uint64) {
+	return vm.allocations, vm.allocatedByte
+}
+
+// fail records a fatal VM error and halts the CPU.
+func (vm *VM) fail(format string, args ...any) {
+	if vm.failure == nil {
+		loc := ""
+		if m, ok := vm.Table.Lookup(vm.CPU.PC); ok {
+			bci, _ := m.BytecodeAt(vm.CPU.PC)
+			loc = fmt.Sprintf(" at %s bci %d (pc %#x)", m.Method.QualifiedName(), bci, vm.CPU.PC)
+		}
+		vm.failure = fmt.Errorf("vm: %s%s", fmt.Sprintf(format, args...), loc)
+	}
+	vm.CPU.Halt(1)
+}
+
+// Start prepares the machine to execute the given entry method. The
+// entry method must take no arguments. Call after CompileAll.
+func (vm *VM) Start(entry *classfile.Method) error {
+	if len(entry.Args) != 0 {
+		return fmt.Errorf("runtime: entry method %s must take no arguments", entry.QualifiedName())
+	}
+	entryAddr := vm.Mem.Read8(vm.CPU.Config().MethodTableBase + uint64(entry.ID)*8)
+	if entryAddr == 0 {
+		return fmt.Errorf("runtime: entry method %s not compiled", entry.QualifiedName())
+	}
+	sp := uint64(heap.StackTop) - 8
+	vm.Mem.Write8(sp, 0) // sentinel return address: Ret from entry halts
+	vm.CPU.SP = sp
+	vm.CPU.FP = 0
+	vm.CPU.PC = entryAddr
+	vm.started = true
+	return nil
+}
+
+// Run executes until the program halts or maxCycles elapse (0 means no
+// limit). It returns the program's failure, if any.
+func (vm *VM) Run(maxCycles uint64) error {
+	if !vm.started {
+		return fmt.Errorf("runtime: Run before Start")
+	}
+	c := vm.CPU
+	for !c.Halted() {
+		// Find the earliest ticker deadline.
+		next := ^uint64(0)
+		for _, t := range vm.tickers {
+			if d := t.Deadline(); d < next {
+				next = d
+			}
+		}
+		if maxCycles != 0 && c.Cycles() >= maxCycles {
+			vm.fail("cycle budget of %d exhausted", maxCycles)
+			break
+		}
+		if maxCycles != 0 && next > maxCycles {
+			next = maxCycles
+		}
+		for c.Cycles() < next {
+			if !c.Step() {
+				break
+			}
+		}
+		if c.Halted() {
+			break
+		}
+		now := c.Cycles()
+		for _, t := range vm.tickers {
+			if t.Deadline() <= now {
+				c.SetUserMode(false)
+				t.Tick()
+				c.SetUserMode(true)
+			}
+		}
+	}
+	return vm.failure
+}
+
+// Cycles returns the simulated execution time so far.
+func (vm *VM) Cycles() uint64 { return vm.CPU.Cycles() }
