@@ -1,0 +1,34 @@
+# CI entry points. `make ci` is the tier-1 gate plus the race check on
+# the packages the parallel experiment engine touches.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench experiments
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race check on the packages the parallel engine fans runs out of:
+# the engine itself (and its determinism sweep), the workload
+# builders it invokes concurrently, and the cache hot path every
+# concurrent run hammers.
+# Race instrumentation slows the workload suite well past go test's
+# default 10m timeout, hence the explicit budget.
+race:
+	$(GO) test -race -timeout 60m ./internal/bench/... ./internal/hw/cache/...
+
+# Cache hot-path microbenchmarks (BenchmarkHierarchyAccess*).
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkHierarchy -benchtime=2s ./internal/hw/cache/
+
+# Full paper regeneration with the perf record (see results/).
+experiments:
+	$(GO) run ./cmd/experiments -exp all -bench-json results/BENCH_experiments.json

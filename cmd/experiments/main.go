@@ -2,18 +2,28 @@
 // paper's evaluation (§6). Each experiment prints the same rows or
 // series the paper reports; EXPERIMENTS.md records the comparison.
 //
+// Runs fan out across a worker pool (the parallel experiment engine in
+// internal/bench); every run owns its seed and its whole simulated
+// machine, so the printed tables are byte-identical for any -jobs
+// value.
+//
 // Usage:
 //
 //	experiments -exp fig4                 # one experiment
 //	experiments -exp all                  # everything (slow)
 //	experiments -exp fig5 -workloads db   # restrict the benchmark set
 //	experiments -exp fig2 -reps 1         # fewer repetitions
+//	experiments -exp all -jobs 8          # widen the worker pool
+//	experiments -exp all -bench-json results/BENCH_experiments.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -21,11 +31,37 @@ import (
 	_ "hpmvm/internal/bench/workloads"
 )
 
+// expRecord is one experiment's perf accounting in the -bench-json
+// output.
+type expRecord struct {
+	Name            string  `json:"name"`
+	Runs            int     `json:"runs"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	RunSeconds      float64 `json:"run_seconds"` // summed per-run wall clock
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// benchReport is the machine-readable perf record -bench-json writes.
+type benchReport struct {
+	Timestamp        string      `json:"timestamp"`
+	GoMaxProcs       int         `json:"gomaxprocs"`
+	Jobs             int         `json:"jobs"`
+	Note             string      `json:"note"`
+	Experiments      []expRecord `json:"experiments"`
+	TotalRuns        int         `json:"total_runs"`
+	TotalWallSeconds float64     `json:"total_wall_seconds"`
+	TotalRunSeconds  float64     `json:"total_run_seconds"`
+	SpeedupVsSerial  float64     `json:"speedup_vs_serial"`
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(bench.ExperimentNames, ", ")+", or all")
 	workloads := flag.String("workloads", "", "comma-separated workload filter (default: all)")
 	reps := flag.Int("reps", 3, "repetitions for timing experiments")
 	seed := flag.Int64("seed", 1, "base PRNG seed")
+	jobs := flag.Int("jobs", 0, "parallel runs (0 = GOMAXPROCS); output is byte-identical for any value")
+	benchJSON := flag.String("bench-json", "", "write per-experiment wall-clock and speedup JSON to this file")
+	progress := flag.Bool("progress", true, "live progress line on stderr")
 	list := flag.Bool("list", false, "list registered workloads and exit")
 	flag.Parse()
 
@@ -36,7 +72,7 @@ func main() {
 		return
 	}
 
-	opt := bench.ExpOptions{Reps: *reps, Seed: *seed}
+	opt := bench.ExpOptions{Reps: *reps, Seed: *seed, Jobs: *jobs}
 	if *workloads != "" {
 		opt.Workloads = strings.Split(*workloads, ",")
 	}
@@ -45,14 +81,71 @@ func main() {
 	if *exp == "all" {
 		names = bench.ExperimentNames
 	}
+
+	report := benchReport{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Note: "speedup_vs_serial = run_seconds/wall_seconds (summed per-run wall clock over " +
+			"actual wall clock); accurate when jobs <= cores, inflated by CPU time-slicing " +
+			"when the pool oversubscribes the machine",
+	}
 	for _, name := range names {
-		start := time.Now()
-		out, err := bench.RunExperiment(name, opt)
+		runOpt := opt
+		if *progress {
+			name := name
+			start := time.Now()
+			runOpt.Progress = func(done, total int, label string) {
+				fmt.Fprintf(os.Stderr, "\r\x1b[K[%s] %d/%d runs  %s  (%s)",
+					name, done, total, label, time.Since(start).Round(time.Second))
+			}
+		}
+		res, err := bench.RunExperimentFull(name, runOpt)
+		if *progress {
+			fmt.Fprint(os.Stderr, "\r\x1b[K")
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Println(out)
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Println(res.Output)
+		fmt.Printf("[%s completed in %v — %d runs, %v run time, jobs=%d, speedup %.2fx]\n\n",
+			name, res.Elapsed.Round(time.Millisecond), res.Runs,
+			res.RunTime.Round(time.Millisecond), res.Jobs, res.Speedup())
+
+		report.Jobs = res.Jobs
+		report.Experiments = append(report.Experiments, expRecord{
+			Name:            name,
+			Runs:            res.Runs,
+			WallSeconds:     res.Elapsed.Seconds(),
+			RunSeconds:      res.RunTime.Seconds(),
+			SpeedupVsSerial: res.Speedup(),
+		})
+		report.TotalRuns += res.Runs
+		report.TotalWallSeconds += res.Elapsed.Seconds()
+		report.TotalRunSeconds += res.RunTime.Seconds()
 	}
+	if report.TotalWallSeconds > 0 {
+		report.SpeedupVsSerial = report.TotalRunSeconds / report.TotalWallSeconds
+	}
+
+	if *benchJSON != "" {
+		if err := writeReport(*benchJSON, report); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *benchJSON)
+	}
+}
+
+func writeReport(path string, report benchReport) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -22,33 +22,54 @@ import (
 // All ablations run the db workload, the paper's headline case.
 
 // Ablations runs the ablation suite on db and renders the results.
+// The seven independent runs (three configurations per ablation, two
+// of them shared) all execute in parallel on the engine; the report
+// renders in a fixed order afterwards.
 func Ablations(opt ExpOptions) (string, error) {
 	builder, ok := Get("db")
 	if !ok {
 		return "", fmt.Errorf("db workload not registered")
 	}
+	e := opt.engine()
+
+	submit := func(label string, cfg RunConfig) *RunHandle {
+		cfg.Seed = opt.Seed
+		return e.RunAsync(builder, cfg, "db/"+label)
+	}
+	nopfCache := cache.DefaultP4()
+	nopfCache.PrefetchEnabled = false
+	submitCache := func(label string, cfg RunConfig) *RunHandle {
+		cfg.Seed = opt.Seed
+		h := &RunHandle{}
+		e.Submit("db/"+label, func() error {
+			res, err := runWithCache(builder, cfg, nopfCache)
+			if err != nil {
+				return err
+			}
+			h.res = res
+			return nil
+		})
+		return h
+	}
+
+	hBase := submit("base", RunConfig{})
+	hL1co := submit("coalloc-l1", RunConfig{Coalloc: true})
+	hTLBco := submit("coalloc-tlb", RunConfig{Coalloc: true, Event: cache.EventDTLBMiss})
+	hBasePF := submitCache("nopf-base", RunConfig{})
+	hCoPF := submitCache("nopf-coalloc", RunConfig{Coalloc: true})
+	hBase1 := submit("opt1-base", RunConfig{OptLevel: 1})
+	hCo1 := submit("opt1-coalloc", RunConfig{OptLevel: 1, Coalloc: true})
+	if err := e.Wait(); err != nil {
+		return "", err
+	}
+	base, l1co, tlbco := hBase.Result(), hL1co.Result(), hTLBco.Result()
+	basePF, coPF := hBasePF.Result(), hCoPF.Result()
+	base1, co1 := hBase1.Result(), hCo1.Result()
+
 	var b strings.Builder
 	fmt.Fprintf(&b, "Ablations on db (heap = 4x min)\n\n")
 
-	run := func(cfg RunConfig) (*Result, error) {
-		cfg.Seed = opt.Seed
-		res, _, err := Run(builder, cfg)
-		return res, err
-	}
-
 	// --- Event choice: L1- vs DTLB-driven co-allocation ---------------
-	base, err := run(RunConfig{})
-	if err != nil {
-		return "", err
-	}
-	l1co, err := run(RunConfig{Coalloc: true})
-	if err != nil {
-		return "", err
-	}
-	tlbco, err := run(RunConfig{Coalloc: true, Event: cache.EventDTLBMiss})
-	if err != nil {
-		return "", err
-	}
 	fmt.Fprintf(&b, "event choice (paper §6.3: TLB-driven guidance does not improve results)\n")
 	fmt.Fprintf(&b, "%-22s %14s %12s %8s %9s\n", "config", "cycles", "L1 misses", "pairs", "speedup")
 	row := func(name string, r *Result, against *Result) {
@@ -62,16 +83,6 @@ func Ablations(opt ExpOptions) (string, error) {
 	fmt.Fprintln(&b)
 
 	// --- Hardware prefetcher on/off ------------------------------------
-	nopfCache := cache.DefaultP4()
-	nopfCache.PrefetchEnabled = false
-	basePF, err := runWithCache(builder, RunConfig{Seed: opt.Seed}, nopfCache)
-	if err != nil {
-		return "", err
-	}
-	coPF, err := runWithCache(builder, RunConfig{Coalloc: true, Seed: opt.Seed}, nopfCache)
-	if err != nil {
-		return "", err
-	}
 	fmt.Fprintf(&b, "hardware prefetcher (co-allocation benefit with and without it)\n")
 	fmt.Fprintf(&b, "%-22s %14s %12s %9s\n", "config", "cycles", "L1 misses", "speedup")
 	fmt.Fprintf(&b, "%-22s %14d %12d %9s\n", "prefetch on, base", base.Cycles, base.Cache.L1Misses, "-")
@@ -83,14 +94,6 @@ func Ablations(opt ExpOptions) (string, error) {
 	fmt.Fprintln(&b)
 
 	// --- Inlining: opt level 1 (no inlining) vs 2 ----------------------
-	base1, err := run(RunConfig{OptLevel: 1})
-	if err != nil {
-		return "", err
-	}
-	co1, err := run(RunConfig{OptLevel: 1, Coalloc: true})
-	if err != nil {
-		return "", err
-	}
 	fmt.Fprintf(&b, "inlining (access paths inside hot loops are visible only after inlining)\n")
 	fmt.Fprintf(&b, "%-22s %14s %12s %8s %9s\n", "config", "cycles", "L1 misses", "pairs", "speedup")
 	row("opt1 base", base1, base1)

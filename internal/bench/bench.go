@@ -9,12 +9,12 @@ package bench
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"hpmvm/internal/coalloc"
 	"hpmvm/internal/core"
 	"hpmvm/internal/hw/cache"
 	"hpmvm/internal/monitor"
-	"hpmvm/internal/stats"
 	"hpmvm/internal/vm/classfile"
 	"hpmvm/internal/vm/mcmap"
 	"hpmvm/internal/vm/runtime"
@@ -46,15 +46,34 @@ type Program struct {
 	HotFieldName string
 }
 
-// Builder constructs a fresh Program (a fresh universe per run, since
-// compiled code and addresses are per-VM).
+// Builder constructs a fresh Program. Builders MUST return a fully
+// fresh universe on every call — compiled code and addresses are
+// per-VM, and the parallel experiment engine invokes builders
+// concurrently from pool workers, so a builder that cached or mutated
+// shared state would race across runs.
 type Builder func() *Program
 
-var registry = map[string]Builder{}
-var order []string
+// The registry is written only from package init functions (workload
+// files call Register from init) and frozen at first read: Get, Names
+// and NamesSorted are called concurrently by engine workers, so any
+// post-init Register is a bug and panics. The mutex covers the
+// freeze transition; after freezing, reads are lock-free.
+var (
+	registryMu sync.Mutex
+	registry   = map[string]Builder{}
+	order      []string
+	frozen     bool
+)
 
-// Register adds a workload builder under a unique name.
+// Register adds a workload builder under a unique name. It must be
+// called from package init (before the first Get/Names); registering
+// after the registry froze panics.
 func Register(name string, b Builder) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if frozen {
+		panic(fmt.Sprintf("bench: Register(%q) after registry frozen (Register must run in init)", name))
+	}
 	if _, dup := registry[name]; dup {
 		panic(fmt.Sprintf("bench: duplicate workload %q", name))
 	}
@@ -62,14 +81,26 @@ func Register(name string, b Builder) {
 	order = append(order, name)
 }
 
-// Get returns the builder for name.
+// freeze marks the registry immutable; the first read-side call wins.
+func freeze() {
+	registryMu.Lock()
+	frozen = true
+	registryMu.Unlock()
+}
+
+// Get returns the builder for name and freezes the registry.
 func Get(name string) (Builder, bool) {
+	freeze()
 	b, ok := registry[name]
 	return b, ok
 }
 
-// Names returns all registered workload names in registration order.
-func Names() []string { return append([]string(nil), order...) }
+// Names returns all registered workload names in registration order
+// and freezes the registry.
+func Names() []string {
+	freeze()
+	return append([]string(nil), order...)
+}
 
 // NamesSorted returns all registered workload names sorted.
 func NamesSorted() []string {
@@ -279,18 +310,14 @@ func clip(xs []int64) []int64 {
 // Repeat runs the same configuration reps times with distinct seeds
 // and returns the execution-time mean and standard deviation (the
 // paper reports averages over 3 executions, §6.1) plus the last run's
-// full result.
+// full result. Repetitions execute on the parallel engine (DefaultJobs
+// workers); each owns its seed and its whole simulated machine, so the
+// returned numbers are identical to a serial loop.
 func Repeat(b Builder, cfg RunConfig, reps int) (mean, stddev float64, last *Result, err error) {
-	var times []float64
-	for i := 0; i < reps; i++ {
-		c := cfg
-		c.Seed = cfg.Seed + int64(i)*7919
-		r, _, e := Run(b, c)
-		if e != nil {
-			return 0, 0, nil, e
-		}
-		times = append(times, float64(r.Cycles))
-		last = r
+	e := NewEngine(0)
+	h := e.RepeatAsync(b, cfg, reps, "")
+	if err := e.Wait(); err != nil {
+		return 0, 0, nil, err
 	}
-	return stats.Mean(times), stats.StdDev(times), last, nil
+	return h.Mean(), h.StdDev(), h.Last(), nil
 }

@@ -1,0 +1,206 @@
+package bench
+
+import (
+	stdruntime "runtime"
+	"sync"
+	"time"
+
+	"hpmvm/internal/core"
+	"hpmvm/internal/stats"
+)
+
+// This file is the parallel experiment execution engine. Every run an
+// experiment performs — one (workload, heap size, config, seed) tuple —
+// constructs a fresh Program universe and a fresh core.System and
+// shares no state with any other run, so independent runs can execute
+// on separate goroutines without changing a single simulated number.
+// The engine fans runs out across a bounded worker pool and the
+// experiment code assembles results in submission order after Wait, so
+// the formatted output is byte-identical to a serial execution
+// regardless of the jobs setting (see TestParallelSweepByteIdentical).
+
+// DefaultJobs returns the default worker-pool width: GOMAXPROCS.
+func DefaultJobs() int { return stdruntime.GOMAXPROCS(0) }
+
+// ProgressFunc receives live completion updates: done runs out of the
+// total submitted so far, and the label of the run that just finished.
+// It is invoked under the engine's lock (so updates are ordered); keep
+// it fast and do not call back into the engine.
+type ProgressFunc func(done, total int, label string)
+
+// EngineStats is the engine's per-run wall-clock accounting.
+type EngineStats struct {
+	Jobs    int           // worker-pool width
+	Runs    int           // completed runs
+	RunTime time.Duration // summed wall clock of all completed runs
+	MaxRun  time.Duration // longest single run
+}
+
+// Engine is a bounded worker pool for independent experiment runs.
+// Submit schedules work; Wait blocks until everything finished and
+// returns the first error. An Engine may be reused for several
+// submit/wait rounds; accounting accumulates across them.
+type Engine struct {
+	jobs int
+	sem  chan struct{}
+	wg   sync.WaitGroup
+
+	mu        sync.Mutex
+	err       error
+	submitted int
+	done      int
+	runTime   time.Duration
+	maxRun    time.Duration
+	progress  ProgressFunc
+}
+
+// NewEngine creates an engine with the given worker-pool width
+// (jobs <= 0 selects DefaultJobs).
+func NewEngine(jobs int) *Engine {
+	if jobs <= 0 {
+		jobs = DefaultJobs()
+	}
+	return &Engine{jobs: jobs, sem: make(chan struct{}, jobs)}
+}
+
+// SetProgress registers the live progress callback (nil disables).
+func (e *Engine) SetProgress(f ProgressFunc) {
+	e.mu.Lock()
+	e.progress = f
+	e.mu.Unlock()
+}
+
+// Jobs returns the worker-pool width.
+func (e *Engine) Jobs() int { return e.jobs }
+
+// Stats returns a snapshot of the per-run accounting.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EngineStats{Jobs: e.jobs, Runs: e.done, RunTime: e.runTime, MaxRun: e.maxRun}
+}
+
+// Submit schedules f on the pool. After the first error, remaining
+// submissions are skipped (fail fast); the error surfaces from Wait.
+func (e *Engine) Submit(label string, f func() error) {
+	e.mu.Lock()
+	e.submitted++
+	e.mu.Unlock()
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		e.sem <- struct{}{}
+		defer func() { <-e.sem }()
+
+		e.mu.Lock()
+		failed := e.err != nil
+		e.mu.Unlock()
+		if failed {
+			return
+		}
+
+		start := time.Now()
+		err := f()
+		elapsed := time.Since(start)
+
+		e.mu.Lock()
+		e.done++
+		e.runTime += elapsed
+		if elapsed > e.maxRun {
+			e.maxRun = elapsed
+		}
+		if err != nil && e.err == nil {
+			e.err = err
+		}
+		if e.progress != nil && err == nil {
+			e.progress(e.done, e.submitted, label)
+		}
+		e.mu.Unlock()
+	}()
+}
+
+// Wait blocks until all submitted work finished and returns the first
+// error encountered.
+func (e *Engine) Wait() error {
+	e.wg.Wait()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// RunHandle is the future for one Run submitted to an engine. Its
+// accessors are valid only after Engine.Wait returns nil.
+type RunHandle struct {
+	res *Result
+	sys *core.System
+}
+
+// Result returns the run's metrics.
+func (h *RunHandle) Result() *Result { return h.res }
+
+// Sys returns the run's live System (time series, policy decisions).
+func (h *RunHandle) Sys() *core.System { return h.sys }
+
+// RunAsync schedules one program run on the engine and returns its
+// future.
+func (e *Engine) RunAsync(b Builder, cfg RunConfig, label string) *RunHandle {
+	h := &RunHandle{}
+	e.Submit(label, func() error {
+		res, sys, err := Run(b, cfg)
+		if err != nil {
+			return err
+		}
+		h.res, h.sys = res, sys
+		return nil
+	})
+	return h
+}
+
+// RepeatHandle is the future for a Repeat (reps runs with distinct
+// seeds) submitted to an engine. Each repetition is a separate pool
+// run, so repetitions of one configuration overlap with everything
+// else. Accessors are valid only after Engine.Wait returns nil.
+type RepeatHandle struct {
+	times   []float64
+	results []*Result
+}
+
+// Mean returns the mean execution time (simulated cycles).
+func (h *RepeatHandle) Mean() float64 { return stats.Mean(h.times) }
+
+// StdDev returns the standard deviation over the repetitions.
+func (h *RepeatHandle) StdDev() float64 { return stats.StdDev(h.times) }
+
+// Last returns the final repetition's full result (the same run
+// Repeat's serial loop would have returned), or nil for zero reps.
+func (h *RepeatHandle) Last() *Result {
+	if len(h.results) == 0 {
+		return nil
+	}
+	return h.results[len(h.results)-1]
+}
+
+// RepeatAsync schedules reps runs of the same configuration with
+// distinct seeds (cfg.Seed + i*7919, exactly like Repeat) and returns
+// their aggregate future.
+func (e *Engine) RepeatAsync(b Builder, cfg RunConfig, reps int, label string) *RepeatHandle {
+	h := &RepeatHandle{
+		times:   make([]float64, reps),
+		results: make([]*Result, reps),
+	}
+	for i := 0; i < reps; i++ {
+		i := i
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*7919
+		e.Submit(label, func() error {
+			r, _, err := Run(b, c)
+			if err != nil {
+				return err
+			}
+			h.times[i] = float64(r.Cycles)
+			h.results[i] = r
+			return nil
+		})
+	}
+	return h
+}

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"hpmvm/internal/core"
 	"hpmvm/internal/stats"
@@ -26,6 +27,16 @@ type ExpOptions struct {
 	Reps int
 	// Seed is the base PRNG seed.
 	Seed int64
+	// Jobs is the parallel engine's worker-pool width (0 = GOMAXPROCS).
+	// Every run is fully isolated, so output is byte-identical for any
+	// value.
+	Jobs int
+	// Progress, when non-nil, receives live run-completion updates.
+	Progress ProgressFunc
+
+	// eng, when set (by RunExperimentFull), is the shared engine the
+	// experiment executes on, so accounting lands in one place.
+	eng *Engine
 }
 
 // DefaultExpOptions mirrors the paper's methodology.
@@ -38,6 +49,32 @@ func (o ExpOptions) workloads() []string {
 		return o.Workloads
 	}
 	return Names()
+}
+
+// engine returns the experiment's execution engine: the shared one
+// when running under RunExperimentFull, else a fresh pool.
+func (o ExpOptions) engine() *Engine {
+	if o.eng != nil {
+		return o.eng
+	}
+	e := NewEngine(o.Jobs)
+	e.SetProgress(o.Progress)
+	return e
+}
+
+// builders resolves the workload list to builders up front so unknown
+// names fail before any run is scheduled.
+func (o ExpOptions) builders() ([]string, []Builder, error) {
+	names := o.workloads()
+	bs := make([]Builder, len(names))
+	for i, name := range names {
+		b, ok := Get(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown workload %q", name)
+		}
+		bs[i] = b
+	}
+	return names, bs, nil
 }
 
 // RunExperiment dispatches by name and returns the rendered result.
@@ -68,17 +105,79 @@ func RunExperiment(name string, opt ExpOptions) (string, error) {
 	}
 }
 
+// ExpRun is one experiment's rendered output plus its execution
+// accounting from the parallel engine.
+type ExpRun struct {
+	Name    string
+	Output  string
+	Jobs    int           // worker-pool width used
+	Runs    int           // independent program runs executed
+	RunTime time.Duration // summed per-run wall clock (serial-equivalent time)
+	Elapsed time.Duration // actual wall clock
+}
+
+// Speedup estimates the speedup over a serial execution: the summed
+// per-run wall clock divided by the elapsed wall clock. (Per-run
+// results are independent of the jobs setting, so the sum of run
+// durations is what a one-worker pool would have spent.)
+func (r ExpRun) Speedup() float64 {
+	if r.Elapsed <= 0 {
+		return 1
+	}
+	return float64(r.RunTime) / float64(r.Elapsed)
+}
+
+// RunExperimentFull runs one experiment on a dedicated parallel engine
+// and returns the rendered output together with run counts and
+// wall-clock accounting.
+func RunExperimentFull(name string, opt ExpOptions) (ExpRun, error) {
+	e := NewEngine(opt.Jobs)
+	e.SetProgress(opt.Progress)
+	opt.eng = e
+	start := time.Now()
+	out, err := RunExperiment(name, opt)
+	if err != nil {
+		return ExpRun{}, err
+	}
+	st := e.Stats()
+	return ExpRun{
+		Name:    name,
+		Output:  out,
+		Jobs:    st.Jobs,
+		Runs:    st.Runs,
+		RunTime: st.RunTime,
+		Elapsed: time.Since(start),
+	}, nil
+}
+
 // --- Table 1: benchmark programs -------------------------------------------
 
-// Table1 lists the benchmark programs (the paper's Table 1).
+// Table1 lists the benchmark programs (the paper's Table 1). Universe
+// construction fans out on the engine; rows render in registration
+// order.
 func Table1(opt ExpOptions) string {
+	e := opt.engine()
+	names := opt.workloads()
+	progs := make([]*Program, len(names))
+	for i, name := range names {
+		builder, ok := Get(name)
+		if !ok {
+			continue
+		}
+		i := i
+		e.Submit(name, func() error {
+			progs[i] = builder()
+			return nil
+		})
+	}
+	_ = e.Wait()
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 1: Benchmark programs\n")
 	fmt.Fprintf(&b, "%-11s %s\n", "program", "description")
-	for _, name := range opt.workloads() {
-		builder, _ := Get(name)
-		p := builder()
-		fmt.Fprintf(&b, "%-11s %s\n", p.Name, p.Description)
+	for _, p := range progs {
+		if p != nil {
+			fmt.Fprintf(&b, "%-11s %s\n", p.Name, p.Description)
+		}
 	}
 	return b.String()
 }
@@ -96,26 +195,35 @@ type Table2Row struct {
 
 // Table2Data computes the space overhead of the machine-code maps for
 // every workload. Only boot-time compilation is needed; no execution.
+// Workloads compile in parallel on the engine.
 func Table2Data(opt ExpOptions) ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, name := range opt.workloads() {
-		builder, ok := Get(name)
-		if !ok {
-			return nil, fmt.Errorf("unknown workload %q", name)
-		}
-		prog := builder()
-		sys := core.NewSystem(prog.U, core.Options{Seed: opt.Seed})
-		if err := sys.Boot(AllOptPlan(prog.U, 2), prog.Materialize); err != nil {
-			return nil, err
-		}
-		sp := sys.VM.Table.Space()
-		rows = append(rows, Table2Row{
-			Program:     name,
-			MachineCode: sp.CodeBytes / 1024,
-			GCMaps:      sp.GCMapBytes / 1024,
-			MCMaps:      sp.MCMapBytes / 1024,
-			Methods:     sp.Methods,
+	e := opt.engine()
+	names, builders, err := opt.builders()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table2Row, len(names))
+	for i, name := range names {
+		i, name, builder := i, name, builders[i]
+		e.Submit(name+"/boot", func() error {
+			prog := builder()
+			sys := core.NewSystem(prog.U, core.Options{Seed: opt.Seed})
+			if err := sys.Boot(AllOptPlan(prog.U, 2), prog.Materialize); err != nil {
+				return err
+			}
+			sp := sys.VM.Table.Space()
+			rows[i] = Table2Row{
+				Program:     name,
+				MachineCode: sp.CodeBytes / 1024,
+				GCMaps:      sp.GCMapBytes / 1024,
+				MCMaps:      sp.MCMapBytes / 1024,
+				Methods:     sp.Methods,
+			}
+			return nil
 		})
+	}
+	if err := e.Wait(); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -171,29 +279,39 @@ type Fig2Row struct {
 
 // Fig2Data measures execution-time overhead of runtime event sampling
 // (monitoring on, co-allocation off) against the unmonitored baseline
-// at heap 4x (paper Figure 2).
+// at heap 4x (paper Figure 2). The whole (workload × interval × rep)
+// grid fans out on the engine; rows assemble in workload order.
 func Fig2Data(opt ExpOptions) ([]Fig2Row, error) {
-	var rows []Fig2Row
-	for _, name := range opt.workloads() {
-		builder, ok := Get(name)
-		if !ok {
-			return nil, fmt.Errorf("unknown workload %q", name)
-		}
-		base, _, _, err := Repeat(builder, RunConfig{Seed: opt.Seed}, opt.Reps)
-		if err != nil {
-			return nil, err
-		}
-		row := Fig2Row{Program: name, Baseline: base}
-		for _, iv := range Fig2Intervals {
-			m, _, _, err := Repeat(builder, RunConfig{
+	e := opt.engine()
+	names, builders, err := opt.builders()
+	if err != nil {
+		return nil, err
+	}
+	type cell struct {
+		base *RepeatHandle
+		mon  []*RepeatHandle
+	}
+	cells := make([]cell, len(names))
+	for i, name := range names {
+		builder := builders[i]
+		cells[i].base = e.RepeatAsync(builder, RunConfig{Seed: opt.Seed}, opt.Reps, name+"/base")
+		for j, iv := range Fig2Intervals {
+			cells[i].mon = append(cells[i].mon, e.RepeatAsync(builder, RunConfig{
 				Monitoring: true, Interval: iv, Seed: opt.Seed,
-			}, opt.Reps)
-			if err != nil {
-				return nil, err
-			}
-			row.Overhead = append(row.Overhead, m/base-1)
+			}, opt.Reps, fmt.Sprintf("%s/%s", name, Fig2Labels[j])))
 		}
-		rows = append(rows, row)
+	}
+	if err := e.Wait(); err != nil {
+		return nil, err
+	}
+	rows := make([]Fig2Row, len(names))
+	for i, name := range names {
+		base := cells[i].base.Mean()
+		row := Fig2Row{Program: name, Baseline: base}
+		for _, m := range cells[i].mon {
+			row.Overhead = append(row.Overhead, m.Mean()/base-1)
+		}
+		rows[i] = row
 	}
 	return rows, nil
 }
@@ -238,20 +356,31 @@ type Fig3Row struct {
 var Fig3Intervals = []uint64{250, 500, 1000}
 
 // Fig3Data counts co-allocated object pairs at different sampling
-// intervals (heap = 4x min, paper Figure 3; log-scale plot).
+// intervals (heap = 4x min, paper Figure 3; log-scale plot). All
+// (workload × interval) runs execute in parallel.
 func Fig3Data(opt ExpOptions) ([]Fig3Row, error) {
-	var rows []Fig3Row
-	for _, name := range opt.workloads() {
-		builder, _ := Get(name)
-		row := Fig3Row{Program: name}
+	e := opt.engine()
+	names, builders, err := opt.builders()
+	if err != nil {
+		return nil, err
+	}
+	handles := make([][]*RunHandle, len(names))
+	for i, name := range names {
 		for _, iv := range Fig3Intervals {
-			res, _, err := Run(builder, RunConfig{Coalloc: true, Interval: iv, Seed: opt.Seed})
-			if err != nil {
-				return nil, err
-			}
-			row.Pairs = append(row.Pairs, res.CoallocPairs)
+			handles[i] = append(handles[i], e.RunAsync(builders[i],
+				RunConfig{Coalloc: true, Interval: iv, Seed: opt.Seed},
+				fmt.Sprintf("%s/iv=%d", name, iv)))
 		}
-		rows = append(rows, row)
+	}
+	if err := e.Wait(); err != nil {
+		return nil, err
+	}
+	rows := make([]Fig3Row, len(names))
+	for i, name := range names {
+		rows[i] = Fig3Row{Program: name}
+		for _, h := range handles[i] {
+			rows[i].Pairs = append(rows[i].Pairs, h.Result().CoallocPairs)
+		}
 	}
 	return rows, nil
 }
@@ -284,26 +413,34 @@ type Fig4Row struct {
 }
 
 // Fig4Data measures the L1 miss reduction with co-allocation on versus
-// the GenMS baseline at heap 4x (paper Figure 4), auto interval.
+// the GenMS baseline at heap 4x (paper Figure 4), auto interval. The
+// baseline and co-allocation runs of every workload all execute in
+// parallel.
 func Fig4Data(opt ExpOptions) ([]Fig4Row, error) {
-	var rows []Fig4Row
-	for _, name := range opt.workloads() {
-		builder, _ := Get(name)
-		base, _, err := Run(builder, RunConfig{Seed: opt.Seed})
-		if err != nil {
-			return nil, err
-		}
-		co, _, err := Run(builder, RunConfig{Coalloc: true, Interval: 0, Seed: opt.Seed})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Fig4Row{
+	e := opt.engine()
+	names, builders, err := opt.builders()
+	if err != nil {
+		return nil, err
+	}
+	type cell struct{ base, co *RunHandle }
+	cells := make([]cell, len(names))
+	for i, name := range names {
+		cells[i].base = e.RunAsync(builders[i], RunConfig{Seed: opt.Seed}, name+"/base")
+		cells[i].co = e.RunAsync(builders[i], RunConfig{Coalloc: true, Interval: 0, Seed: opt.Seed}, name+"/coalloc")
+	}
+	if err := e.Wait(); err != nil {
+		return nil, err
+	}
+	rows := make([]Fig4Row, len(names))
+	for i, name := range names {
+		base, co := cells[i].base.Result(), cells[i].co.Result()
+		rows[i] = Fig4Row{
 			Program:   name,
 			BaseL1:    base.Cache.L1Misses,
 			CoL1:      co.Cache.L1Misses,
 			Reduction: 1 - float64(co.Cache.L1Misses)/float64(max64(base.Cache.L1Misses, 1)),
 			Pairs:     co.CoallocPairs,
-		})
+		}
 	}
 	return rows, nil
 }
@@ -338,25 +475,38 @@ type Fig5Row struct {
 
 // Fig5Data measures normalized execution time (co-allocation vs GenMS
 // baseline) across heap sizes 1x–4x with the auto-selected sampling
-// interval (paper Figure 5).
+// interval (paper Figure 5). The full (workload × heap factor × config
+// × rep) grid fans out on the engine.
 func Fig5Data(opt ExpOptions) ([]Fig5Row, error) {
-	var rows []Fig5Row
-	for _, name := range opt.workloads() {
-		builder, _ := Get(name)
-		row := Fig5Row{Program: name}
-		for _, f := range Fig5Factors {
-			base, bsd, _, err := Repeat(builder, RunConfig{HeapFactor: f, Seed: opt.Seed}, opt.Reps)
-			if err != nil {
-				return nil, err
-			}
-			co, csd, _, err := Repeat(builder, RunConfig{HeapFactor: f, Coalloc: true, Seed: opt.Seed}, opt.Reps)
-			if err != nil {
-				return nil, err
-			}
-			row.Normalized = append(row.Normalized, co/base)
-			row.StdDev = append(row.StdDev, (bsd+csd)/(2*base))
+	e := opt.engine()
+	names, builders, err := opt.builders()
+	if err != nil {
+		return nil, err
+	}
+	type cell struct{ base, co *RepeatHandle }
+	cells := make([][]cell, len(names))
+	for i, name := range names {
+		cells[i] = make([]cell, len(Fig5Factors))
+		for j, f := range Fig5Factors {
+			label := fmt.Sprintf("%s/%gx", name, f)
+			cells[i][j].base = e.RepeatAsync(builders[i],
+				RunConfig{HeapFactor: f, Seed: opt.Seed}, opt.Reps, label+"/base")
+			cells[i][j].co = e.RepeatAsync(builders[i],
+				RunConfig{HeapFactor: f, Coalloc: true, Seed: opt.Seed}, opt.Reps, label+"/coalloc")
 		}
-		rows = append(rows, row)
+	}
+	if err := e.Wait(); err != nil {
+		return nil, err
+	}
+	rows := make([]Fig5Row, len(names))
+	for i, name := range names {
+		row := Fig5Row{Program: name}
+		for j := range Fig5Factors {
+			base, co := cells[i][j].base, cells[i][j].co
+			row.Normalized = append(row.Normalized, co.Mean()/base.Mean())
+			row.StdDev = append(row.StdDev, (base.StdDev()+co.StdDev())/(2*base.Mean()))
+		}
+		rows[i] = row
 	}
 	return rows, nil
 }
@@ -404,27 +554,36 @@ type Fig6Row struct {
 
 // Fig6Data compares collectors on db across heap sizes (paper Figure
 // 6): GenMS baseline, GenMS with co-allocation, and GenCopy. Values
-// are mean cycles.
+// are mean cycles. All (heap factor × collector × rep) runs execute in
+// parallel.
 func Fig6Data(opt ExpOptions) ([]Fig6Row, error) {
 	builder, ok := Get("db")
 	if !ok {
 		return nil, fmt.Errorf("db workload not registered")
 	}
-	var rows []Fig6Row
-	for _, f := range Fig5Factors {
-		base, _, _, err := Repeat(builder, RunConfig{HeapFactor: f, Seed: opt.Seed}, opt.Reps)
-		if err != nil {
-			return nil, err
+	e := opt.engine()
+	type cell struct{ base, co, gc *RepeatHandle }
+	cells := make([]cell, len(Fig5Factors))
+	for j, f := range Fig5Factors {
+		label := fmt.Sprintf("db/%gx", f)
+		cells[j].base = e.RepeatAsync(builder,
+			RunConfig{HeapFactor: f, Seed: opt.Seed}, opt.Reps, label+"/genms")
+		cells[j].co = e.RepeatAsync(builder,
+			RunConfig{HeapFactor: f, Coalloc: true, Seed: opt.Seed}, opt.Reps, label+"/genms+co")
+		cells[j].gc = e.RepeatAsync(builder,
+			RunConfig{HeapFactor: f, Collector: core.GenCopy, Seed: opt.Seed}, opt.Reps, label+"/gencopy")
+	}
+	if err := e.Wait(); err != nil {
+		return nil, err
+	}
+	rows := make([]Fig6Row, len(Fig5Factors))
+	for j, f := range Fig5Factors {
+		rows[j] = Fig6Row{
+			Factor:    f,
+			GenMSBase: cells[j].base.Mean(),
+			GenMSCo:   cells[j].co.Mean(),
+			GenCopy:   cells[j].gc.Mean(),
 		}
-		co, _, _, err := Repeat(builder, RunConfig{HeapFactor: f, Coalloc: true, Seed: opt.Seed}, opt.Reps)
-		if err != nil {
-			return nil, err
-		}
-		gc, _, _, err := Repeat(builder, RunConfig{HeapFactor: f, Collector: core.GenCopy, Seed: opt.Seed}, opt.Reps)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Fig6Row{Factor: f, GenMSBase: base, GenMSCo: co, GenCopy: gc})
 	}
 	return rows, nil
 }
@@ -456,27 +615,33 @@ func Fig6(opt ExpOptions) (string, error) {
 // the dyn-coalloc curve bends when co-allocation kicks in; the
 // baseline keeps climbing).
 func Fig7Data(opt ExpOptions) (baseCum, coCum, rate, smooth *stats.Series, err error) {
-	builder, _ := Get("db")
-	prog := builder()
+	builder, ok := Get("db")
+	if !ok {
+		return nil, nil, nil, nil, fmt.Errorf("db workload not registered")
+	}
+	hotField := builder().HotFieldName
 
-	extract := func(cfg RunConfig) (*stats.Series, *stats.Series, error) {
-		_, sys, err := Run(builder, cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		for _, fc := range sys.Monitor.HotFields() {
-			if fc.Field.QualifiedName() == prog.HotFieldName {
+	e := opt.engine()
+	hBase := e.RunAsync(builder, RunConfig{Monitoring: true, Interval: 2500, Seed: opt.Seed}, "db/monitor")
+	hCo := e.RunAsync(builder, RunConfig{Coalloc: true, Interval: 2500, Seed: opt.Seed}, "db/coalloc")
+	if err := e.Wait(); err != nil {
+		return nil, nil, nil, nil, err
+	}
+
+	extract := func(h *RunHandle) (*stats.Series, *stats.Series, error) {
+		for _, fc := range h.Sys().Monitor.HotFields() {
+			if fc.Field.QualifiedName() == hotField {
 				return &fc.Series, &fc.RateSeries, nil
 			}
 		}
-		return nil, nil, fmt.Errorf("fig7: field %s received no samples", prog.HotFieldName)
+		return nil, nil, fmt.Errorf("fig7: field %s received no samples", hotField)
 	}
 
-	baseRaw, _, err := extract(RunConfig{Monitoring: true, Interval: 2500, Seed: opt.Seed})
+	baseRaw, _, err := extract(hBase)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	coRaw, coRate, err := extract(RunConfig{Coalloc: true, Interval: 2500, Seed: opt.Seed})
+	coRaw, coRate, err := extract(hCo)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
@@ -531,13 +696,20 @@ func Fig7(opt ExpOptions) (string, error) {
 const Fig8GapAtCycle = 120_000_000
 
 // Fig8Data runs the Figure 8 scenario and returns the String::value
-// miss-rate series and the policy's decision log.
+// miss-rate series and the policy's decision log. (A single run; it
+// still executes on the engine so accounting and progress are
+// uniform.)
 func Fig8Data(opt ExpOptions) (*stats.Series, []string, error) {
-	builder, _ := Get("db")
-	_, sys, err := Run(builder, RunConfig{Coalloc: true, GapAtCycle: Fig8GapAtCycle, Interval: 2500, Seed: opt.Seed})
-	if err != nil {
+	builder, ok := Get("db")
+	if !ok {
+		return nil, nil, fmt.Errorf("db workload not registered")
+	}
+	e := opt.engine()
+	h := e.RunAsync(builder, RunConfig{Coalloc: true, GapAtCycle: Fig8GapAtCycle, Interval: 2500, Seed: opt.Seed}, "db/gap")
+	if err := e.Wait(); err != nil {
 		return nil, nil, err
 	}
+	sys := h.Sys()
 	for _, fc := range sys.Monitor.HotFields() {
 		if fc.Field.QualifiedName() == "String::value" {
 			return &fc.RateSeries, sys.Policy.Events(), nil

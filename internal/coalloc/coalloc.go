@@ -217,6 +217,19 @@ func (p *Policy) CoallocationPerformed(f *classfile.Field, gap uint64) {
 	}
 }
 
+// sortedFields returns the field states in field-ID order. The state
+// machine below logs (and in the intervention case, mutates) as it
+// walks the states, so walking the map directly would leak map
+// iteration order into the event log.
+func (p *Policy) sortedFields() []*fieldState {
+	out := make([]*fieldState, 0, len(p.fields))
+	for _, st := range p.fields {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].field.ID < out[j].field.ID })
+	return out
+}
+
 // observe advances the policy after each monitor poll.
 func (p *Policy) observe(now uint64) {
 	// Activate newly hot fields.
@@ -248,7 +261,7 @@ func (p *Policy) observe(now uint64) {
 	// intervention stays pending until at least one active placement
 	// exists to apply it to.
 	if p.cfg.GapAtCycle > 0 && !p.intervened && now >= p.cfg.GapAtCycle {
-		for _, st := range p.fields {
+		for _, st := range p.sortedFields() {
 			if st.mode == modeActive && st.gap == 0 {
 				p.intervened = true
 				st.gap = p.cfg.GapBytes
@@ -267,7 +280,7 @@ func (p *Policy) observe(now uint64) {
 	if !p.cfg.RevertEnabled {
 		return
 	}
-	for _, st := range p.fields {
+	for _, st := range p.sortedFields() {
 		if st.mode != modeActive {
 			continue
 		}

@@ -133,10 +133,15 @@ func NewSystem(u *classfile.Universe, opts Options) *System {
 
 	// Sampling hardware and kernel module exist unconditionally (the
 	// hardware is always on the chip); they cost nothing unless a
-	// session is started.
+	// session is started. The event listener is only wired up when a
+	// session can exist: without it, the memory hierarchy's hot path
+	// skips event delivery on every miss (a nil check instead of an
+	// interface call plus a privilege-mode test per event).
 	s.Unit = pebs.NewUnit(s.VM.CPU, s.rng)
 	s.Module = perfmon.NewModule(s.Unit, s.VM.CPU, perfmon.DefaultConfig())
-	s.VM.Hier.SetListener(userFilter{s})
+	if opts.Monitoring {
+		s.VM.Hier.SetListener(userFilter{s})
+	}
 
 	switch opts.Collector {
 	case GenCopy:

@@ -10,7 +10,10 @@
 // exactly the internal-fragmentation trade-off the paper discusses.
 package freelist
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // NumClasses is the number of size classes (paper: 40).
 const NumClasses = 40
@@ -185,22 +188,35 @@ func (a *Allocator) Free(addr uint64) {
 // false, then releases fully empty blocks back to the shared block
 // pool (so the heap budget actually shrinks after a major collection).
 // It returns the number of cells freed.
+//
+// Cells are visited in address order: the visit order decides both the
+// keep-callback order and the order freed cells enter the per-class
+// free lists (i.e. the addresses future allocations return), so
+// iterating the allocated map directly would leak Go's randomized map
+// iteration order into simulated object placement and make whole-run
+// cycle counts differ between identical invocations.
 func (a *Allocator) Sweep(keep func(addr uint64, cellSize uint64) bool) int {
-	var toFree []uint64
-	for addr, cls := range a.allocated {
-		if !keep(addr, sizeClasses[cls]) {
-			toFree = append(toFree, addr)
+	live := make([]uint64, 0, len(a.allocated))
+	for addr := range a.allocated {
+		live = append(live, addr)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+	var freed int
+	for _, addr := range live {
+		if !keep(addr, sizeClasses[a.allocated[addr]]) {
+			a.Free(addr)
+			freed++
 		}
 	}
-	for _, addr := range toFree {
-		a.Free(addr)
-	}
 	a.releaseEmptyBlocks()
-	return len(toFree)
+	return freed
 }
 
 // releaseEmptyBlocks returns blocks with no live cells to the shared
-// pool, purging their cells from the per-class free lists.
+// pool, purging their cells from the per-class free lists. Released
+// bases join the pool in address order — the pool is a stack that
+// later block claims pop from, so map-ordered release would randomize
+// future block placement.
 func (a *Allocator) releaseEmptyBlocks() {
 	empty := make(map[uint64]bool)
 	for base, b := range a.blocks {
@@ -220,7 +236,12 @@ func (a *Allocator) releaseEmptyBlocks() {
 		}
 		a.free[cls] = kept
 	}
+	bases := make([]uint64, 0, len(empty))
 	for base := range empty {
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	for _, base := range bases {
 		delete(a.blocks, base)
 		a.freeBlocks = append(a.freeBlocks, base)
 		a.blockBytes -= BlockSize

@@ -1,6 +1,7 @@
 package freelist
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -181,5 +182,41 @@ func TestCellsEnumeration(t *testing.T) {
 	}
 	if !found[x] || !found[y] {
 		t.Error("Cells missing an allocation")
+	}
+}
+
+// TestSweepDeterministic checks that the post-sweep allocation stream
+// does not depend on map iteration order: sweeping decides the order
+// freed cells re-enter the free lists, so two identical allocator
+// histories must replay to identical addresses. (The collectors rely
+// on this — object placement feeds the cache simulation, so any
+// map-order leak here makes whole-run cycle counts nondeterministic.)
+func TestSweepDeterministic(t *testing.T) {
+	build := func() []uint64 {
+		a := New(0x1000_0000, 0x1100_0000)
+		var addrs []uint64
+		for i := 0; i < 400; i++ {
+			addrs = append(addrs, a.Alloc(uint64(16+(i%40)*16)))
+		}
+		// Kill a scattered subset, forcing frees into many classes and
+		// at least one block release.
+		dead := make(map[uint64]bool)
+		for i, addr := range addrs {
+			if i%3 != 0 {
+				dead[addr] = true
+			}
+		}
+		a.Sweep(func(addr uint64, _ uint64) bool { return !dead[addr] })
+		var out []uint64
+		for i := 0; i < 300; i++ {
+			out = append(out, a.Alloc(uint64(16+(i%40)*16)))
+		}
+		return out
+	}
+	first := build()
+	for trial := 0; trial < 3; trial++ {
+		if got := build(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("trial %d: post-sweep allocation stream differs from first run", trial)
+		}
 	}
 }

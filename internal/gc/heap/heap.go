@@ -6,7 +6,10 @@
 // a mark-and-sweep mature space and a separate large object space).
 package heap
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Accessor is the timed memory interface the collectors use; the
 // simulated CPU implements it, so GC traffic shares the caches and the
@@ -177,13 +180,17 @@ func (l *LargeObjectSpace) Free(addr uint64) {
 // Used returns the number of live bytes (page-rounded).
 func (l *LargeObjectSpace) Used() uint64 { return l.used }
 
-// Objects returns the addresses of all live large objects (sweep
-// iteration order is unspecified; callers sort if needed).
+// Objects returns the addresses of all live large objects in address
+// order. Both collectors free dead objects in this order, and Alloc
+// first-fits over the free runs in release order, so a map-ordered
+// listing would make large-object placement (and with it whole-run
+// cycle counts) nondeterministic across identical invocations.
 func (l *LargeObjectSpace) Objects() []uint64 {
 	out := make([]uint64, 0, len(l.sizes))
 	for a := range l.sizes {
 		out = append(out, a)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -135,8 +135,18 @@ type line struct {
 }
 
 // setAssoc is a generic set-associative tag array with LRU replacement.
+// Lines are stored in one flat row-major slice (set s occupies
+// lines[s*assoc : (s+1)*assoc]) so a probe is a single bounds-checked
+// slice index rather than a pointer chase through per-set slices.
+//
+// The hot path is split into probe (hit test + LRU touch) and fill
+// (LRU eviction + insert): Hierarchy.Access calls probe with the
+// already-shifted line/page address, so the offset shift and set/tag
+// masking happen once per level instead of being recomputed inside a
+// combined lookup.
 type setAssoc struct {
-	sets     [][]line
+	lines    []line
+	assoc    uint64
 	setMask  uint64
 	setBits  uint
 	offBits  uint
@@ -150,59 +160,78 @@ func newSetAssoc(totalLines, assoc int, offBits uint) *setAssoc {
 	if nsets < 1 {
 		nsets = 1
 	}
-	sets := make([][]line, nsets)
-	for i := range sets {
-		sets[i] = make([]line, assoc)
-	}
 	return &setAssoc{
-		sets:    sets,
+		lines:   make([]line, nsets*assoc),
+		assoc:   uint64(assoc),
 		setMask: uint64(nsets - 1),
 		setBits: uint(popcount(uint64(nsets - 1))),
 		offBits: offBits,
 	}
 }
 
-// lookup probes for the line containing addr. If insert is true and the
-// line is absent, it is filled (evicting LRU). It returns hit, and
-// whether the eviction wrote back a dirty line.
-func (sa *setAssoc) lookup(addr uint64, insert, markDirty bool) (hit, writeback bool) {
+// probe tests whether the line identified by key (addr >> offBits) is
+// resident, updating the LRU stamp and dirty bit on a hit. Each probe
+// advances the stamp exactly once; a following fill reuses it, so the
+// probe+fill pair is stamp-equivalent to the previous combined lookup.
+func (sa *setAssoc) probe(key uint64, markDirty bool) bool {
 	sa.stamp++
 	sa.accesses++
-	lineAddr := addr >> sa.offBits
-	set := sa.sets[lineAddr&sa.setMask]
-	tag := lineAddr >> sa.setBits
+	base := (key & sa.setMask) * sa.assoc
+	set := sa.lines[base : base+sa.assoc]
+	tag := key >> sa.setBits
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			set[i].lru = sa.stamp
 			if markDirty {
 				set[i].dirty = true
 			}
-			return true, false
+			return true
 		}
 	}
+	return false
+}
+
+// fill inserts the line for key after a failed probe, evicting the LRU
+// way. It reports whether the eviction wrote back a dirty line.
+func (sa *setAssoc) fill(key uint64, markDirty bool) (writeback bool) {
 	sa.misses++
-	if insert {
-		victim := 0
-		for i := range set {
-			if !set[i].valid {
-				victim = i
-				break
-			}
-			if set[i].lru < set[victim].lru {
-				victim = i
-			}
+	base := (key & sa.setMask) * sa.assoc
+	set := sa.lines[base : base+sa.assoc]
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
 		}
-		writeback = set[victim].valid && set[victim].dirty
-		set[victim] = line{tag: tag, valid: true, dirty: markDirty, lru: sa.stamp}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	writeback = set[victim].valid && set[victim].dirty
+	set[victim] = line{tag: key >> sa.setBits, valid: true, dirty: markDirty, lru: sa.stamp}
+	return writeback
+}
+
+// lookup probes for the line containing addr. If insert is true and the
+// line is absent, it is filled (evicting LRU). It returns hit, and
+// whether the eviction wrote back a dirty line.
+func (sa *setAssoc) lookup(addr uint64, insert, markDirty bool) (hit, writeback bool) {
+	key := addr >> sa.offBits
+	if sa.probe(key, markDirty) {
+		return true, false
+	}
+	if insert {
+		writeback = sa.fill(key, markDirty)
 	}
 	return false, writeback
 }
 
 // contains probes without updating LRU or filling.
 func (sa *setAssoc) contains(addr uint64) bool {
-	lineAddr := addr >> sa.offBits
-	set := sa.sets[lineAddr&sa.setMask]
-	tag := lineAddr >> sa.setBits
+	key := addr >> sa.offBits
+	base := (key & sa.setMask) * sa.assoc
+	set := sa.lines[base : base+sa.assoc]
+	tag := key >> sa.setBits
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			return true
@@ -213,10 +242,8 @@ func (sa *setAssoc) contains(addr uint64) bool {
 
 // invalidateAll clears every line (used when a run is reset).
 func (sa *setAssoc) invalidateAll() {
-	for _, set := range sa.sets {
-		for i := range set {
-			set[i] = line{}
-		}
+	for i := range sa.lines {
+		sa.lines[i] = line{}
 	}
 }
 
@@ -333,64 +360,78 @@ func (h *Hierarchy) Flush() {
 	h.prefetched = make(map[uint64]bool)
 }
 
-func (h *Hierarchy) emit(kind EventKind, addr uint64) {
-	if h.listener != nil {
-		h.listener.HardwareEvent(kind, addr)
-	}
-}
-
 // Access simulates one demand access of the given size at addr and
 // returns the cycle cost. write distinguishes stores from loads.
 // Accesses are assumed not to cross a cache line (the CPU only issues
 // naturally aligned accesses of at most 8 bytes).
+//
+// This is the single hottest function in the simulator — every load
+// and store of every simulated instruction lands here — so the common
+// case (TLB hit, L1 hit, no outstanding prefetches) is kept branch-
+// lean: line and page addresses are shifted once and handed to the
+// probe fast path, the prefetched-line bookkeeping is skipped entirely
+// while the map is empty, and listener delivery is a nil check on the
+// miss paths only (TestAccessFingerprint pins the exact behavior).
 func (h *Hierarchy) Access(addr uint64, size int, write bool) uint64 {
-	h.stats.Accesses++
+	st := &h.stats
+	st.Accesses++
 	if write {
-		h.stats.Stores++
+		st.Stores++
 	} else {
-		h.stats.Loads++
+		st.Loads++
 	}
 	cycles := h.cfg.L1HitCycles
 
 	// DTLB.
-	if hit, _ := h.tlb.lookup(addr, true, false); !hit {
-		h.stats.TLBMisses++
+	if !h.tlb.probe(addr>>h.pageBits, false) {
+		h.tlb.fill(addr>>h.pageBits, false)
+		st.TLBMisses++
 		cycles += h.cfg.TLBMissCycles
-		h.emit(EventDTLBMiss, addr)
+		if h.listener != nil {
+			h.listener.HardwareEvent(EventDTLBMiss, addr)
+		}
 	}
 
 	lineAddr := addr >> h.lineBits
 
 	// First demand touch of a prefetched line counts as a prefetch
-	// hit, whether it is found in L1 (usual case) or deeper.
-	if h.prefetched[lineAddr] {
-		h.stats.PrefetchHits++
+	// hit, whether it is found in L1 (usual case) or deeper. The map
+	// is empty unless the prefetcher has outstanding lines, so the
+	// common case is a single len check.
+	if len(h.prefetched) != 0 && h.prefetched[lineAddr] {
+		st.PrefetchHits++
 		delete(h.prefetched, lineAddr)
 	}
 
-	// L1.
-	if hit, wb := h.l1.lookup(addr, true, write); hit {
-		h.stats.Cycles += cycles
+	// L1 hit: the fast path out.
+	if h.l1.probe(lineAddr, write) {
+		st.Cycles += cycles
 		return cycles
-	} else if wb {
-		h.stats.Writebacks++
 	}
-	h.stats.L1Misses++
+	if h.l1.fill(lineAddr, write) {
+		st.Writebacks++
+	}
+	st.L1Misses++
 	cycles += h.cfg.L2HitCycles
-	h.emit(EventL1Miss, addr)
+	if h.listener != nil {
+		h.listener.HardwareEvent(EventL1Miss, addr)
+	}
 
 	// L2.
-	if hit, wb := h.l2.lookup(addr, true, write); !hit {
-		h.stats.L2Misses++
+	if !h.l2.probe(lineAddr, write) {
+		wb := h.l2.fill(lineAddr, write)
+		st.L2Misses++
 		cycles += h.cfg.MemCycles
-		h.emit(EventL2Miss, addr)
+		if h.listener != nil {
+			h.listener.HardwareEvent(EventL2Miss, addr)
+		}
 		if wb {
-			h.stats.Writebacks++
+			st.Writebacks++
 		}
 		h.trainPrefetcher(lineAddr)
 	}
 
-	h.stats.Cycles += cycles
+	st.Cycles += cycles
 	return cycles
 }
 

@@ -389,7 +389,15 @@ func (m *Monitor) flushPeriod(now uint64) {
 	if elapsed == 0 {
 		elapsed = 1
 	}
-	for _, fc := range m.fields {
+	// Walk counters in field-ID order: detectPhaseChange appends to the
+	// phase-event log, and map order would scramble same-poll entries.
+	ids := make([]int, 0, len(m.fields))
+	for id := range m.fields {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fc := m.fields[id]
 		if m.tracked != nil && !m.tracked[fc.Field.QualifiedName()] {
 			fc.periodSamples, fc.periodWeight = 0, 0
 			continue
