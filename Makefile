@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench experiments
+.PHONY: ci vet build test race bench experiments obs
 
 ci: vet build test race
 
@@ -18,12 +18,13 @@ test:
 
 # Race check on the packages the parallel engine fans runs out of:
 # the engine itself (and its determinism sweep), the workload
-# builders it invokes concurrently, and the cache hot path every
-# concurrent run hammers.
+# builders it invokes concurrently, the cache hot path every
+# concurrent run hammers, and the observability layer host-side
+# consumers snapshot while producers emit.
 # Race instrumentation slows the workload suite well past go test's
 # default 10m timeout, hence the explicit budget.
 race:
-	$(GO) test -race -timeout 60m ./internal/bench/... ./internal/hw/cache/...
+	$(GO) test -race -timeout 60m ./internal/bench/... ./internal/hw/cache/... ./internal/obs/...
 
 # Cache hot-path microbenchmarks (BenchmarkHierarchyAccess*).
 bench:
@@ -32,3 +33,11 @@ bench:
 # Full paper regeneration with the perf record (see results/).
 experiments:
 	$(GO) run ./cmd/experiments -exp all -bench-json results/BENCH_experiments.json
+
+# Observability smoke test: unit tests for the obs package plus an
+# instrumented end-to-end sweep writing the JSON exports to a scratch
+# directory.
+obs:
+	$(GO) test ./internal/obs/
+	$(GO) run ./cmd/experiments -exp none -workloads compress \
+		-metrics-json /tmp/hpmvm-obs-metrics.json -trace /tmp/hpmvm-obs-trace.json

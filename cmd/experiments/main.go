@@ -15,6 +15,16 @@
 //	experiments -exp fig2 -reps 1         # fewer repetitions
 //	experiments -exp all -jobs 8          # widen the worker pool
 //	experiments -exp all -bench-json results/BENCH_experiments.json
+//	experiments -exp none -metrics-json m.json -trace t.json
+//	                                      # observability sweep only
+//
+// -metrics-json and -trace run an additional instrumented sweep (each
+// workload once with the full monitoring + co-allocation stack and the
+// observability layer attached) and write the per-workload counter
+// snapshots and event traces as JSON. The sweep is additive: it never
+// changes the experiments' stdout, and the observer is passive, so the
+// captured runs' simulated cycle counts match unobserved runs exactly.
+// -exp none skips the experiments, running only the sweep.
 package main
 
 import (
@@ -61,6 +71,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "base PRNG seed")
 	jobs := flag.Int("jobs", 0, "parallel runs (0 = GOMAXPROCS); output is byte-identical for any value")
 	benchJSON := flag.String("bench-json", "", "write per-experiment wall-clock and speedup JSON to this file")
+	metricsJSON := flag.String("metrics-json", "", "run the observability sweep and write per-workload counter/phase snapshots to this file")
+	traceFile := flag.String("trace", "", "run the observability sweep and write per-workload event traces to this file")
 	progress := flag.Bool("progress", true, "live progress line on stderr")
 	list := flag.Bool("list", false, "list registered workloads and exit")
 	flag.Parse()
@@ -78,8 +90,12 @@ func main() {
 	}
 
 	names := []string{*exp}
-	if *exp == "all" {
+	switch *exp {
+	case "all":
 		names = bench.ExperimentNames
+	case "none":
+		// Observability-sweep-only mode: no experiments.
+		names = nil
 	}
 
 	report := benchReport{
@@ -135,6 +151,65 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *benchJSON)
 	}
+
+	if *metricsJSON != "" || *traceFile != "" {
+		if err := runObsSweep(opt, *progress, *metricsJSON, *traceFile); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: obs sweep: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runObsSweep executes the instrumented workload sweep and writes the
+// requested JSON exports.
+func runObsSweep(opt bench.ExpOptions, progress bool, metricsPath, tracePath string) error {
+	if progress {
+		start := time.Now()
+		opt.Progress = func(done, total int, label string) {
+			fmt.Fprintf(os.Stderr, "\r\x1b[K[obs] %d/%d runs  %s  (%s)",
+				done, total, label, time.Since(start).Round(time.Second))
+		}
+		defer fmt.Fprint(os.Stderr, "\r\x1b[K")
+	}
+	recs, err := bench.ObsSweep(opt)
+	if err != nil {
+		return err
+	}
+	write := func(path string, emit func(f *os.File) error) error {
+		if dir := filepath.Dir(path); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		return nil
+	}
+	if metricsPath != "" {
+		if err := write(metricsPath, func(f *os.File) error {
+			return bench.WriteObsMetricsJSON(f, recs)
+		}); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" {
+		if err := write(tracePath, func(f *os.File) error {
+			return bench.WriteObsTraceJSON(f, recs)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func writeReport(path string, report benchReport) error {

@@ -15,6 +15,7 @@ import (
 	"hpmvm/internal/core"
 	"hpmvm/internal/hw/cache"
 	"hpmvm/internal/monitor"
+	"hpmvm/internal/obs"
 	"hpmvm/internal/vm/classfile"
 	"hpmvm/internal/vm/mcmap"
 	"hpmvm/internal/vm/runtime"
@@ -171,6 +172,13 @@ type RunConfig struct {
 
 	// MonitorConfig optionally overrides the collector-thread tuning.
 	MonitorConfig *monitor.Config
+
+	// Observe attaches the observability layer (package obs) to the
+	// run's System; Result.Obs then carries the final counter/phase
+	// snapshot. The observer is passive, so simulated results are
+	// unchanged. TraceCapacity bounds the event ring (0 = default).
+	Observe       bool
+	TraceCapacity int
 }
 
 // Result carries every metric the experiments report.
@@ -195,6 +203,9 @@ type Result struct {
 	Space        mcmap.SpaceStats
 
 	Results []int64
+
+	// Obs is the observability snapshot, non-nil iff Config.Observe.
+	Obs *obs.Metrics
 }
 
 // Run executes one program under one configuration and returns the
@@ -229,6 +240,8 @@ func Run(b Builder, cfg RunConfig) (*Result, *core.System, error) {
 		Seed:             cfg.Seed,
 		TrackFields:      track,
 		MonitorConfig:    cfg.MonitorConfig,
+		Observe:          cfg.Observe,
+		TraceCapacity:    cfg.TraceCapacity,
 	}
 	if cfg.Gap != 0 || cfg.GapAtCycle != 0 || cfg.DisableRevert || cfg.Ranked {
 		cc := coalloc.DefaultConfig()
@@ -285,6 +298,10 @@ func Run(b Builder, cfg RunConfig) (*Result, *core.System, error) {
 		res.MonitorStats = sys.Monitor.Stats()
 	}
 	res.SamplesTaken = sys.Unit.Stats().SamplesTaken
+	if sys.Obs != nil {
+		m := sys.Obs.Snapshot()
+		res.Obs = &m
+	}
 	return res, sys, nil
 }
 

@@ -24,8 +24,22 @@ func DefaultJobs() int { return stdruntime.GOMAXPROCS(0) }
 
 // ProgressFunc receives live completion updates: done runs out of the
 // total submitted so far, and the label of the run that just finished.
-// It is invoked under the engine's lock (so updates are ordered); keep
-// it fast and do not call back into the engine.
+//
+// Thread-safety contract: the engine invokes the callback from its
+// pool-worker goroutines, but always under the engine's mutex, so
+// invocations are serialized — the callback may read and write its own
+// shared state without additional locking, and done is strictly
+// increasing across calls. Two obligations remain with the caller:
+//
+//   - Other goroutines reading state the callback writes need their own
+//     synchronization while runs are in flight. Engine.Wait is the
+//     ready-made sync point: it returns only after every callback has
+//     completed, with a happens-before edge, so post-Wait reads are safe
+//     without locks (pinned by TestProgressSharedStateRace).
+//   - Keep the callback fast and never call back into the engine — it
+//     runs under the same lock Submit/Wait/Stats take, so a re-entrant
+//     call deadlocks and a slow callback stalls every worker's
+//     completion path.
 type ProgressFunc func(done, total int, label string)
 
 // EngineStats is the engine's per-run wall-clock accounting.
@@ -63,7 +77,11 @@ func NewEngine(jobs int) *Engine {
 	return &Engine{jobs: jobs, sem: make(chan struct{}, jobs)}
 }
 
-// SetProgress registers the live progress callback (nil disables).
+// SetProgress registers the live progress callback (nil disables). It
+// may be called concurrently with Submit, but a registration races
+// against completions already in flight — register before the first
+// Submit to observe every run. See ProgressFunc for the callback's
+// thread-safety contract.
 func (e *Engine) SetProgress(f ProgressFunc) {
 	e.mu.Lock()
 	e.progress = f

@@ -22,6 +22,7 @@ import (
 
 	"hpmvm/internal/gc/genms"
 	"hpmvm/internal/monitor"
+	"hpmvm/internal/obs"
 	"hpmvm/internal/stats"
 	"hpmvm/internal/vm/classfile"
 )
@@ -135,6 +136,10 @@ type Policy struct {
 
 	intervened bool
 	events     []string
+
+	// obs, when non-nil, receives an EvCoallocDecision event per
+	// activation, revert and intervention (nil-gated).
+	obs *obs.Observer
 }
 
 // New builds a policy and registers it as a monitor observer so its
@@ -151,6 +156,39 @@ func New(mon *monitor.Monitor, cfg Config) *Policy {
 	}
 	mon.AddObserver(p.observe)
 	return p
+}
+
+// SetObserver attaches the observability layer: decision counts are
+// registered and every placement decision is traced. Passing nil
+// detaches.
+func (p *Policy) SetObserver(o *obs.Observer) {
+	p.obs = o
+	if o == nil {
+		return
+	}
+	o.RegisterSampled("coalloc.active_fields", func() uint64 {
+		var n uint64
+		for _, st := range p.fields {
+			if st.mode == modeActive {
+				n++
+			}
+		}
+		return n
+	})
+	o.RegisterSampled("coalloc.reverts", func() uint64 {
+		var n uint64
+		for _, st := range p.fields {
+			n += uint64(st.reverts)
+		}
+		return n
+	})
+}
+
+// decided traces one policy decision (no-op without an observer).
+func (p *Policy) decided(now uint64, f *classfile.Field, gap, code uint64) {
+	if p.obs != nil {
+		p.obs.Emit(obs.EvCoallocDecision, now, uint64(f.ID), gap, code)
+	}
 }
 
 // HottestField implements genms.Advisor. Field states are registered
@@ -253,6 +291,7 @@ func (p *Policy) observe(now uint64) {
 				}
 				p.logf(now, "activate %s (gap %d, baseline rate %.0f misses/Mcycle)",
 					f.QualifiedName(), st.gap, st.baselineRate)
+				p.decided(now, f, st.gap, obs.DecisionActivate)
 			}
 		}
 	}
@@ -273,6 +312,7 @@ func (p *Policy) observe(now uint64) {
 				}
 				p.logf(now, "manual intervention: %d-byte gap forced for %s",
 					st.gap, st.field.QualifiedName())
+				p.decided(now, st.field, st.gap, obs.DecisionIntervene)
 			}
 		}
 	}
@@ -307,6 +347,7 @@ func (p *Policy) observe(now uint64) {
 				st.abMarkGap = fc.GappedSamples
 				p.logf(now, "revert %s: gapped pairs draw %.4f sampled misses/pair vs %.4f for adjacent — switching back to adjacent placement",
 					st.field.QualifiedName(), perGap, perAdj)
+				p.decided(now, st.field, 0, obs.DecisionRevertAB)
 				continue
 			}
 		}
@@ -330,6 +371,7 @@ func (p *Policy) observe(now uint64) {
 			st.gap = 0
 			p.logf(now, "revert %s: rate %.0f vs baseline %.0f misses/Mcycle — dropping gap",
 				st.field.QualifiedName(), current, st.baselineRate)
+			p.decided(now, st.field, 0, obs.DecisionRevertRate)
 			st.baselineRate = current
 			st.activatedAt = fc.RateSeries.Len()
 		}

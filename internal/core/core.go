@@ -25,6 +25,7 @@ import (
 	"hpmvm/internal/hw/pebs"
 	"hpmvm/internal/kernel/perfmon"
 	"hpmvm/internal/monitor"
+	"hpmvm/internal/obs"
 	"hpmvm/internal/vm/aos"
 	"hpmvm/internal/vm/classfile"
 	"hpmvm/internal/vm/runtime"
@@ -87,6 +88,16 @@ type Options struct {
 	// TrackFields restricts the monitor's time series to the named
 	// fields ("Class::field"), as used by the Figure 7/8 experiments.
 	TrackFields []string
+
+	// Observe attaches the observability layer (package obs) to every
+	// subsystem: counters are registered and a structured event trace
+	// is recorded. The observer never charges simulated cycles, so
+	// enabling it does not perturb measured results; disabled (the
+	// default), every emission site is a nil check.
+	Observe bool
+	// TraceCapacity bounds the event ring buffer (0 selects
+	// obs.DefaultTraceCapacity).
+	TraceCapacity int
 }
 
 // System is a fully wired execution platform.
@@ -102,6 +113,9 @@ type System struct {
 
 	GenMS   *genms.Collector
 	GenCopy *gencopy.Collector
+
+	// Obs is the observability layer, non-nil iff Options.Observe.
+	Obs *obs.Observer
 
 	rng *rand.Rand
 }
@@ -179,7 +193,44 @@ func NewSystem(u *classfile.Universe, opts Options) *System {
 		}
 		s.AOS = aos.New(s.VM, acfg)
 	}
+
+	if opts.Observe {
+		s.attachObserver(opts.TraceCapacity)
+	}
 	return s
+}
+
+// attachObserver builds the observability layer and wires it through
+// every subsystem that exists under the current options. The observer
+// is passive — it never charges simulated cycles — so attaching it
+// changes no measured result (pinned by TestObserveCycleIdentical).
+func (s *System) attachObserver(traceCapacity int) {
+	o := obs.New(traceCapacity)
+	s.Obs = o
+
+	now := s.VM.CPU.Cycles
+	s.VM.Hier.SetObserver(o, now)
+	s.Unit.SetObserver(o)
+	s.Module.SetObserver(o)
+	if s.GenMS != nil {
+		s.GenMS.SetObserver(o)
+	}
+	if s.Monitor != nil {
+		s.Monitor.SetObserver(o)
+	}
+	if s.Policy != nil {
+		s.Policy.SetObserver(o)
+	}
+
+	recompiles := o.Counter("vm.recompiles")
+	s.VM.OnRecompile(func(methodID int) {
+		recompiles.Add(1)
+		var level uint64
+		if s.VM.OptInfo(methodID) != nil {
+			level = 1
+		}
+		o.Emit(obs.EvRecompile, now(), uint64(methodID), level, 0)
+	})
 }
 
 // Hier returns the memory hierarchy (for statistics).

@@ -15,6 +15,7 @@ import (
 
 	"hpmvm/internal/gc/freelist"
 	"hpmvm/internal/gc/heap"
+	"hpmvm/internal/obs"
 	"hpmvm/internal/vm/classfile"
 	"hpmvm/internal/vm/runtime"
 )
@@ -111,6 +112,10 @@ type Collector struct {
 
 	advisor Advisor
 
+	// obs, when non-nil, receives EvGCStart/EvGCEnd events and
+	// "gc.minor"/"gc.major" phase timings per collection (nil-gated).
+	obs *obs.Observer
+
 	stats Stats
 	queue []uint64
 }
@@ -133,6 +138,32 @@ func New(vm *runtime.VM, cfg Config) *Collector {
 
 // SetAdvisor installs (or removes) the co-allocation advisor.
 func (c *Collector) SetAdvisor(a Advisor) { c.advisor = a }
+
+// SetObserver attaches the observability layer: the collector's
+// counters are registered as sampled counters and every collection is
+// traced with start/end events and a phase timing. Passing nil
+// detaches.
+func (c *Collector) SetObserver(o *obs.Observer) {
+	c.obs = o
+	if o == nil {
+		return
+	}
+	o.RegisterSampled("gc.minor", func() uint64 { return c.stats.MinorGCs })
+	o.RegisterSampled("gc.major", func() uint64 { return c.stats.MajorGCs })
+	o.RegisterSampled("gc.promoted_objects", func() uint64 { return c.stats.PromotedObjects })
+	o.RegisterSampled("gc.promoted_bytes", func() uint64 { return c.stats.PromotedBytes })
+	o.RegisterSampled("gc.coalloc_pairs", func() uint64 { return c.stats.CoallocPairs })
+	o.RegisterSampled("gc.coalloc_bytes", func() uint64 { return c.stats.CoallocBytes })
+	o.RegisterSampled("gc.swept_cells", func() uint64 { return c.stats.SweptCells })
+	o.RegisterSampled("gc.cycles", func() uint64 { return c.stats.GCCycles })
+	o.RegisterSampled("gc.barrier_records", func() uint64 { return c.stats.BarrierRecords })
+}
+
+// gcGen values for EvGCStart/EvGCEnd Arg0.
+const (
+	genMinor = 0
+	genMajor = 1
+)
 
 // pairRange describes one co-allocated cell for address classification.
 type pairRange struct {
@@ -262,6 +293,10 @@ func (c *Collector) resizeNursery() bool {
 func (c *Collector) MinorGC() {
 	start := c.vm.CPU.Cycles()
 	c.stats.MinorGCs++
+	if c.obs != nil {
+		c.obs.Emit(obs.EvGCStart, start, genMinor, 0, 0)
+		c.obs.PhaseBegin("gc.minor", start)
+	}
 	vm := c.vm
 
 	c.queue = c.queue[:0]
@@ -299,6 +334,11 @@ func (c *Collector) MinorGC() {
 
 	c.nursery.Reset()
 	c.stats.GCCycles += c.vm.CPU.Cycles() - start
+	if c.obs != nil {
+		end := c.vm.CPU.Cycles()
+		c.obs.Emit(obs.EvGCEnd, end, genMinor, end-start, 0)
+		c.obs.PhaseEnd("gc.minor", end)
+	}
 
 	if !c.resizeNursery() {
 		c.MajorGC()
@@ -402,6 +442,10 @@ func (c *Collector) matureAlloc(size uint64) uint64 {
 func (c *Collector) MajorGC() {
 	start := c.vm.CPU.Cycles()
 	c.stats.MajorGCs++
+	if c.obs != nil {
+		c.obs.Emit(obs.EvGCStart, start, genMajor, 0, 0)
+		c.obs.PhaseBegin("gc.major", start)
+	}
 	vm := c.vm
 
 	// Mark phase.
@@ -470,6 +514,11 @@ func (c *Collector) MajorGC() {
 	}
 
 	c.stats.GCCycles += c.vm.CPU.Cycles() - start
+	if c.obs != nil {
+		end := c.vm.CPU.Cycles()
+		c.obs.Emit(obs.EvGCEnd, end, genMajor, end-start, 0)
+		c.obs.PhaseEnd("gc.major", end)
+	}
 }
 
 // clearMark clears and returns the mark bit of the object at addr.

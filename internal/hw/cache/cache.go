@@ -10,7 +10,11 @@
 // subscribes to these events to drive precise event-based sampling.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"hpmvm/internal/obs"
+)
 
 // EventKind identifies a countable hardware event. The P4 exposes many
 // more, but these are the ones the paper samples (§4.1: "L1, L2 cache
@@ -272,10 +276,43 @@ type Stats struct {
 
 // L1MissRate returns L1 misses per demand access.
 func (s Stats) L1MissRate() float64 {
-	if s.Accesses == 0 {
+	return ratio(s.L1Misses, s.Accesses)
+}
+
+// L2MissRate returns L2 misses per demand access (the global miss
+// rate: the fraction of accesses that go all the way to memory).
+func (s Stats) L2MissRate() float64 {
+	return ratio(s.L2Misses, s.Accesses)
+}
+
+// L2LocalMissRate returns L2 misses per L2 lookup (i.e. per L1 miss).
+func (s Stats) L2LocalMissRate() float64 {
+	return ratio(s.L2Misses, s.L1Misses)
+}
+
+// TLBMissRate returns DTLB misses per demand access.
+func (s Stats) TLBMissRate() float64 {
+	return ratio(s.TLBMisses, s.Accesses)
+}
+
+// PrefetchAccuracy returns the fraction of issued prefetches that were
+// later demanded within the same measurement window.
+func (s Stats) PrefetchAccuracy() float64 {
+	return ratio(s.PrefetchHits, s.Prefetches)
+}
+
+// CyclesPerAccess returns the mean memory-access cost in cycles.
+func (s Stats) CyclesPerAccess() float64 {
+	return ratio(s.Cycles, s.Accesses)
+}
+
+// ratio divides two counters, mapping an empty denominator to 0 so
+// rates over an empty measurement window are well-defined.
+func ratio(num, den uint64) float64 {
+	if den == 0 {
 		return 0
 	}
-	return float64(s.L1Misses) / float64(s.Accesses)
+	return float64(num) / float64(den)
 }
 
 // stream is one tracked prefetch stream.
@@ -297,6 +334,14 @@ type Hierarchy struct {
 	stamp    uint64
 	stats    Stats
 	listener Listener
+
+	// obs, when non-nil, receives a measurement-window snapshot event
+	// each time a window closes; obsNow supplies the global cycle
+	// stamp. Nil-gated exactly like listener so the disabled path
+	// costs one pointer test on the (cold) window-reset path and
+	// nothing at all on the access hot path.
+	obs    *obs.Observer
+	obsNow func() uint64
 
 	lineBits uint
 	pageBits uint
@@ -340,14 +385,56 @@ func log2(v int) uint {
 // PEBS restriction described in §4.1).
 func (h *Hierarchy) SetListener(l Listener) { h.listener = l }
 
+// SetObserver attaches the observability layer: the hierarchy's
+// counters are registered as sampled counters (read only at snapshot
+// time — the access hot path is untouched) and every window close
+// emits an EvCacheWindow trace event. now supplies the global cycle
+// counter for event stamps (the hierarchy has no CPU reference of its
+// own). Passing a nil observer detaches.
+func (h *Hierarchy) SetObserver(o *obs.Observer, now func() uint64) {
+	h.obs, h.obsNow = o, now
+	if o == nil {
+		return
+	}
+	o.RegisterSampled("cache.accesses", func() uint64 { return h.stats.Accesses })
+	o.RegisterSampled("cache.loads", func() uint64 { return h.stats.Loads })
+	o.RegisterSampled("cache.stores", func() uint64 { return h.stats.Stores })
+	o.RegisterSampled("cache.l1_misses", func() uint64 { return h.stats.L1Misses })
+	o.RegisterSampled("cache.l2_misses", func() uint64 { return h.stats.L2Misses })
+	o.RegisterSampled("cache.tlb_misses", func() uint64 { return h.stats.TLBMisses })
+	o.RegisterSampled("cache.writebacks", func() uint64 { return h.stats.Writebacks })
+	o.RegisterSampled("cache.prefetches", func() uint64 { return h.stats.Prefetches })
+	o.RegisterSampled("cache.prefetch_hits", func() uint64 { return h.stats.PrefetchHits })
+	o.RegisterSampled("cache.cycles", func() uint64 { return h.stats.Cycles })
+}
+
 // Config returns the active configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
 
 // Stats returns a snapshot of the counters.
 func (h *Hierarchy) Stats() Stats { return h.stats }
 
-// ResetStats zeroes the counters without touching cache contents.
-func (h *Hierarchy) ResetStats() { h.stats = Stats{} }
+// ResetStats closes the current measurement window: the counters are
+// zeroed and the prefetched-line attribution set is cleared, so the
+// next window's PrefetchHits only count prefetches issued inside that
+// window (leftover entries used to let a window report more prefetch
+// hits than prefetches — back-to-back windows were not independent).
+//
+// Physical machine state is deliberately retained: cache and TLB
+// contents and the stream detector's trained streams are hardware
+// state whose reset would change subsequent timing, which a statistics
+// window close must never do. Use Flush for a full hardware reset.
+// TestResetStatsWindowIndependence pins both halves of this contract.
+func (h *Hierarchy) ResetStats() {
+	if h.obs != nil {
+		st := &h.stats
+		h.obs.Emit(obs.EvCacheWindow, h.obsNow(), st.Accesses, st.L1Misses, st.Cycles)
+	}
+	h.stats = Stats{}
+	if len(h.prefetched) != 0 {
+		h.prefetched = make(map[uint64]bool)
+	}
+}
 
 // Flush invalidates all cache and TLB state.
 func (h *Hierarchy) Flush() {

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"hpmvm/internal/hw/cache"
+	"hpmvm/internal/obs"
 )
 
 // NumRegs is the number of general-purpose registers captured per
@@ -112,6 +113,10 @@ type Unit struct {
 	buf       []Sample
 	watermark int
 
+	// obs, when non-nil, receives an EvPEBSInterrupt event per
+	// watermark interrupt (nil-gated, like the hierarchy's listener).
+	obs *obs.Observer
+
 	// Counters.
 	eventsSeen   uint64 // events of the selected kind observed while enabled
 	samplesTaken uint64
@@ -129,10 +134,37 @@ func NewUnit(cpu CPUState, rng *rand.Rand) *Unit {
 // SetHandler registers the kernel's overflow interrupt handler.
 func (u *Unit) SetHandler(h InterruptHandler) { u.handler = h }
 
+// SetObserver attaches the observability layer: the unit's counters
+// are registered as sampled counters and every watermark interrupt is
+// traced. Passing nil detaches.
+func (u *Unit) SetObserver(o *obs.Observer) {
+	u.obs = o
+	if o == nil {
+		return
+	}
+	o.RegisterSampled("pebs.events_seen", func() uint64 { return u.eventsSeen })
+	o.RegisterSampled("pebs.samples_taken", func() uint64 { return u.samplesTaken })
+	o.RegisterSampled("pebs.dropped", func() uint64 { return u.dropped })
+	o.RegisterSampled("pebs.interrupts", func() uint64 { return u.interrupts })
+}
+
 // Configure programs the unit. Sampling remains disabled until Start.
+//
+// Degenerate interval configurations are rejected rather than armed: a
+// zero interval would fire the counter on every event, and RandomBits
+// at or beyond the 64-bit width of the interval register would
+// randomize the entire interval away — a misconfigured session must
+// error, not silently melt the simulated machine. An Interval smaller
+// than 1<<RandomBits remains legal: the base bits vanish and the
+// effective interval is uniform in [1, 1<<RandomBits) — the documented
+// semantics of the hardware's bit-randomization, relied on by the
+// Figure 2/3 fine-interval operating points (see reload).
 func (u *Unit) Configure(cfg Config) error {
 	if cfg.Interval == 0 {
 		return fmt.Errorf("pebs: sampling interval must be positive")
+	}
+	if cfg.RandomBits >= 64 {
+		return fmt.Errorf("pebs: RandomBits %d randomizes the whole 64-bit interval register (max 63)", cfg.RandomBits)
 	}
 	if cfg.BufferSamples <= 0 {
 		return fmt.Errorf("pebs: buffer capacity must be positive")
@@ -153,10 +185,13 @@ func (u *Unit) Configure(cfg Config) error {
 // SetInterval retargets the sampling interval while running; the
 // monitor's auto mode uses this to hold the sample rate near its
 // target (§6.3: "adapts the sampling interval to obtain a certain
-// number of samples per second").
+// number of samples per second"). The interval is clamped so the
+// configured RandomBits can never randomize it to zero: the effective
+// minimum is 1<<RandomBits (1 with no randomization), preserving the
+// Configure invariant across runtime retargeting.
 func (u *Unit) SetInterval(interval uint64) {
-	if interval == 0 {
-		interval = 1
+	if min := uint64(1) << u.cfg.RandomBits; interval < min {
+		interval = min
 	}
 	u.cfg.Interval = interval
 }
@@ -174,6 +209,11 @@ func (u *Unit) Stop() { u.enabled = false }
 func (u *Unit) Enabled() bool { return u.enabled }
 
 // reload arms the interval countdown, randomizing the low-order bits.
+// The armed value is never zero: when Interval < 1<<RandomBits the
+// base bits vanish and the countdown is the randomized low bits alone,
+// clamped to at least 1 — a well-defined fine-sampling mode, not a
+// stuck counter (Configure and SetInterval reject/clamp the configs
+// that could otherwise arm a never- or always-firing counter).
 func (u *Unit) reload() {
 	iv := u.cfg.Interval
 	if u.cfg.RandomBits > 0 && u.rng != nil {
@@ -221,6 +261,9 @@ func (u *Unit) capture(kind cache.EventKind, addr uint64) {
 	if len(u.buf) >= u.watermark && u.handler != nil {
 		u.interrupts++
 		u.cpu.AddCycles(u.cfg.InterruptCycles)
+		if u.obs != nil {
+			u.obs.Emit(obs.EvPEBSInterrupt, u.cpu.CycleCount(), uint64(len(u.buf)), u.interrupts, 0)
+		}
 		u.handler.PEBSOverflow(u)
 	}
 }

@@ -233,3 +233,70 @@ func TestSetInterval(t *testing.T) {
 		t.Error("SetInterval not applied")
 	}
 }
+
+func TestConfigureRejectsDegenerateRandomBits(t *testing.T) {
+	u := NewUnit(&fakeCPU{}, rand.New(rand.NewSource(1)))
+	for _, bits := range []uint{64, 65, 128} {
+		c := cfg(100, 10)
+		c.RandomBits = bits
+		if err := u.Configure(c); err == nil {
+			t.Errorf("accepted RandomBits=%d, which randomizes the whole interval register", bits)
+		}
+	}
+	c := cfg(100, 10)
+	c.RandomBits = 63
+	if err := u.Configure(c); err != nil {
+		t.Errorf("rejected RandomBits=63: %v", err)
+	}
+}
+
+// TestFineIntervalBelowRandomWidth pins the legal fine-sampling mode
+// the Figure 2/3 operating points rely on: Interval < 1<<RandomBits
+// (e.g. 250 with 8 randomized bits) configures fine, and the effective
+// interval is the randomized low bits alone — samples keep flowing and
+// the countdown never sticks.
+func TestFineIntervalBelowRandomWidth(t *testing.T) {
+	cpu := &fakeCPU{}
+	u := NewUnit(cpu, rand.New(rand.NewSource(3)))
+	c := cfg(250, 100_000)
+	c.RandomBits = 8 // 250 >> 8 == 0: base bits vanish entirely
+	if err := u.Configure(c); err != nil {
+		t.Fatalf("fine interval rejected: %v", err)
+	}
+	u.Start()
+	for i := 0; i < 10_000; i++ {
+		u.HardwareEvent(cache.EventL1Miss, uint64(i))
+	}
+	st := u.Stats()
+	if st.SamplesTaken == 0 {
+		t.Fatal("no samples in fine-interval mode")
+	}
+	// Effective interval is uniform in [1, 256): over 10 K events the
+	// sample count must land far from both "every event" and "never".
+	if st.SamplesTaken < 20 || st.SamplesTaken > 9_000 {
+		t.Errorf("SamplesTaken = %d, outside the fine-interval regime", st.SamplesTaken)
+	}
+}
+
+func TestSetIntervalClampsToRandomizedWidth(t *testing.T) {
+	u := NewUnit(&fakeCPU{}, rand.New(rand.NewSource(1)))
+	c := cfg(1000, 10)
+	c.RandomBits = 8
+	if err := u.Configure(c); err != nil {
+		t.Fatal(err)
+	}
+	// Below 1<<RandomBits the randomization could zero the interval
+	// register; the retarget clamps to the randomized width.
+	u.SetInterval(10)
+	if u.Interval() != 256 {
+		t.Errorf("SetInterval(10) with 8 random bits = %d, want clamp to 256", u.Interval())
+	}
+	u.SetInterval(0)
+	if u.Interval() != 256 {
+		t.Errorf("SetInterval(0) with 8 random bits = %d, want clamp to 256", u.Interval())
+	}
+	u.SetInterval(300)
+	if u.Interval() != 300 {
+		t.Errorf("SetInterval(300) = %d, want applied as-is", u.Interval())
+	}
+}

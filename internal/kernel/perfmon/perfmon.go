@@ -11,6 +11,7 @@ import (
 
 	"hpmvm/internal/hw/cache"
 	"hpmvm/internal/hw/pebs"
+	"hpmvm/internal/obs"
 )
 
 // CycleSink is where the module charges the cycles its own work
@@ -56,6 +57,12 @@ type Module struct {
 	lost   uint64 // samples dropped because the kernel buffer was full
 	reads  uint64 // user-space read syscalls serviced
 	active bool
+
+	// obs, when non-nil, receives an EvPerfmonRead event per copy-out;
+	// obsNow reads the global cycle counter for event stamps (nil when
+	// the sink does not expose one).
+	obs    *obs.Observer
+	obsNow func() uint64
 }
 
 // NewModule loads the module over a sampling unit.
@@ -63,6 +70,25 @@ func NewModule(unit *pebs.Unit, sink CycleSink, cfg Config) *Module {
 	m := &Module{cfg: cfg, unit: unit, sink: sink}
 	unit.SetHandler(m)
 	return m
+}
+
+// SetObserver attaches the observability layer: the module's counters
+// are registered as sampled counters and every user-space copy-out is
+// traced. Event cycle stamps come from the sink when it exposes a
+// cycle counter (the production sink is the CPU); otherwise they are
+// zero. Passing nil detaches.
+func (m *Module) SetObserver(o *obs.Observer) {
+	m.obs = o
+	if o == nil {
+		m.obsNow = nil
+		return
+	}
+	if cr, ok := m.sink.(interface{ Cycles() uint64 }); ok {
+		m.obsNow = cr.Cycles
+	}
+	o.RegisterSampled("perfmon.reads", func() uint64 { return m.reads })
+	o.RegisterSampled("perfmon.lost", func() uint64 { return m.lost })
+	o.RegisterSampled("perfmon.pending", func() uint64 { return uint64(len(m.buf)) })
 }
 
 // ConfigureSession programs the hardware for the given event and
@@ -131,10 +157,18 @@ func (m *Module) absorb(samples []pebs.Sample) {
 // everything collected so far. Costs one syscall plus per-sample copy.
 func (m *Module) ReadSamples(dst []pebs.Sample) int {
 	m.sink.AddCycles(m.cfg.SyscallCycles)
+	m.reads++
 	m.absorb(m.unit.Drain())
 	n := copy(dst, m.buf)
 	m.sink.AddCycles(uint64(n) * m.cfg.CopyCyclesPerSample)
 	m.buf = m.buf[:copy(m.buf, m.buf[n:])]
+	if m.obs != nil {
+		var now uint64
+		if m.obsNow != nil {
+			now = m.obsNow()
+		}
+		m.obs.Emit(obs.EvPerfmonRead, now, uint64(n), uint64(len(m.buf)), m.lost)
+	}
 	return n
 }
 

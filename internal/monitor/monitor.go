@@ -15,6 +15,7 @@ import (
 	"hpmvm/internal/gc/heap"
 	"hpmvm/internal/hw/pebs"
 	"hpmvm/internal/kernel/perfmon"
+	"hpmvm/internal/obs"
 	"hpmvm/internal/stats"
 	"hpmvm/internal/vm/classfile"
 	"hpmvm/internal/vm/compiler/opt"
@@ -165,6 +166,10 @@ type Monitor struct {
 	tracked   map[string]bool
 	lastFlush uint64
 
+	// obs, when non-nil, receives a poll event per Tick and a
+	// phase-change event per detection (nil-gated).
+	obs *obs.Observer
+
 	// classify, when set, maps a sampled data address to its placement
 	// variant (wired to the GenMS collector's ClassifyAddr).
 	classify func(addr uint64) (coalloced, gapped bool)
@@ -197,6 +202,23 @@ func New(vm *runtime.VM, module *perfmon.Module, cfg Config) *Monitor {
 func (m *Monitor) Attach() {
 	m.deadline = m.vm.CPU.Cycles() + m.pollGap
 	m.vm.AddTicker(m)
+}
+
+// SetObserver attaches the observability layer: the monitor's counters
+// are registered as sampled counters, each poll is traced and timed as
+// a "monitor.poll" phase, and detected phase changes are traced.
+// Passing nil detaches.
+func (m *Monitor) SetObserver(o *obs.Observer) {
+	m.obs = o
+	if o == nil {
+		return
+	}
+	o.RegisterSampled("monitor.polls", func() uint64 { return m.st.Polls })
+	o.RegisterSampled("monitor.samples_read", func() uint64 { return m.st.SamplesRead })
+	o.RegisterSampled("monitor.samples_decoded", func() uint64 { return m.st.SamplesDecoded })
+	o.RegisterSampled("monitor.samples_dropped", func() uint64 { return m.st.SamplesDropped })
+	o.RegisterSampled("monitor.fields_attributed", func() uint64 { return m.st.FieldsAttributed })
+	o.RegisterSampled("monitor.cycles", func() uint64 { return m.st.MonitorCycles })
 }
 
 // SetClassifier installs the placement classifier used to attribute
@@ -248,6 +270,11 @@ func (m *Monitor) Tick() {
 	m.adaptPollGap(n)
 	m.st.MonitorCycles += c.Cycles() - startCycles
 	m.deadline = c.Cycles() + m.pollGap
+	if m.obs != nil {
+		m.obs.Emit(obs.EvMonitorPoll, c.Cycles(), uint64(n), m.st.SamplesDecoded, m.st.SamplesDropped)
+		m.obs.PhaseBegin("monitor.poll", startCycles)
+		m.obs.PhaseEnd("monitor.poll", c.Cycles())
+	}
 }
 
 // adaptPollGap sizes the next poll so the sample buffer cannot
@@ -439,6 +466,9 @@ func (m *Monitor) detectPhaseChange(fc *FieldCounter, now uint64) {
 		m.phaseEvents = append(m.phaseEvents,
 			fmt.Sprintf("[cycle %d] phase change on %s: %.0f -> %.0f misses/Mcycle",
 				now, fc.Field.QualifiedName(), prev, cur))
+		if m.obs != nil {
+			m.obs.Emit(obs.EvPhaseChange, now, uint64(fc.Field.ID), 0, 0)
+		}
 	}
 }
 
@@ -499,6 +529,8 @@ func (m *Monitor) HotMethods() []*MethodCounter {
 func (m *Monitor) Stats() Stats { return m.st }
 
 // Report renders a small human-readable summary (examples use it).
+// topN bounds the hot-field listing; values below zero are treated as
+// zero (no listing) rather than slicing with a negative bound.
 func (m *Monitor) Report(topN int) string {
 	out := fmt.Sprintf("monitor: %d polls, %d samples decoded (%d dropped)\n",
 		m.st.Polls, m.st.SamplesDecoded, m.st.SamplesDropped)
@@ -506,6 +538,9 @@ func (m *Monitor) Report(topN int) string {
 		out += fmt.Sprintf("  by space: %d nursery, %d mature, %d LOS, %d immortal, %d other\n",
 			m.st.SamplesNursery, m.st.SamplesMature, m.st.SamplesLOS,
 			m.st.SamplesImmortal, m.st.SamplesOther)
+	}
+	if topN < 0 {
+		topN = 0
 	}
 	hf := m.HotFields()
 	if len(hf) > topN {

@@ -1,6 +1,7 @@
 package monitor_test
 
 import (
+	"strings"
 	"testing"
 
 	"hpmvm/internal/core"
@@ -346,5 +347,41 @@ func TestAlternativeEvents(t *testing.T) {
 		if sys.Monitor.FieldSamples(fpay) == 0 {
 			t.Errorf("%v: nothing attributed to the hot field", ev)
 		}
+	}
+}
+
+// TestReportTopNClamp is the regression test for the Report slicing
+// bug: topN below zero used to slice hf[:topN] and panic. Negative
+// values now mean the same as zero (no hot-field listing), and values
+// beyond the list length list everything.
+func TestReportTopNClamp(t *testing.T) {
+	sys, _ := runChase(t, core.Options{
+		HeapLimit:        16 << 20,
+		Monitoring:       true,
+		SamplingInterval: 2000,
+	})
+	if len(sys.Monitor.HotFields()) == 0 {
+		t.Fatal("no hot fields; the clamp needs a non-empty listing to bite")
+	}
+
+	neg := sys.Monitor.Report(-3) // panicked before the clamp
+	zero := sys.Monitor.Report(0)
+	if neg != zero {
+		t.Errorf("Report(-3) != Report(0):\n%q\nvs\n%q", neg, zero)
+	}
+	if strings.Contains(zero, "#1") {
+		t.Errorf("Report(0) lists fields:\n%s", zero)
+	}
+
+	one := sys.Monitor.Report(1)
+	if !strings.Contains(one, "#1") {
+		t.Errorf("Report(1) lists nothing:\n%s", one)
+	}
+	if strings.Contains(one, "#2") {
+		t.Errorf("Report(1) lists more than one field:\n%s", one)
+	}
+	// A bound far beyond the list length is not an error either.
+	if huge := sys.Monitor.Report(1 << 20); !strings.Contains(huge, "#1") {
+		t.Errorf("Report(1<<20) lists nothing:\n%s", huge)
 	}
 }
