@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench experiments obs
+.PHONY: ci vet build test race bench experiments obs serve-smoke
 
 ci: vet build test race
 
@@ -19,12 +19,20 @@ test:
 # Race check on the packages the parallel engine fans runs out of:
 # the engine itself (and its determinism sweep), the workload
 # builders it invokes concurrently, the cache hot path every
-# concurrent run hammers, and the observability layer host-side
-# consumers snapshot while producers emit.
+# concurrent run hammers, the observability layer host-side
+# consumers snapshot while producers emit, and the hpmvmd serve
+# layer (single-flight cache + bounded queue under 32 concurrent
+# handler requests).
 # Race instrumentation slows the workload suite well past go test's
 # default 10m timeout, hence the explicit budget.
 race:
-	$(GO) test -race -timeout 60m ./internal/bench/... ./internal/hw/cache/... ./internal/obs/...
+	$(GO) test -race -timeout 60m ./internal/bench/... ./internal/hw/cache/... ./internal/obs/... ./internal/serve/...
+
+# End-to-end hpmvmd smoke test: boot the daemon, issue the same run
+# request twice, assert the replay is a byte-identical cache hit, and
+# verify clean SIGTERM drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Cache hot-path microbenchmarks (BenchmarkHierarchyAccess*).
 bench:

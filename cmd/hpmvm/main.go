@@ -7,9 +7,14 @@
 //	hpmvm -workload db
 //	hpmvm -workload db -coalloc -interval 0 -heap 4.0
 //	hpmvm -workload hsqldb -collector gencopy -v
+//
+// Exit codes: 0 success, 1 run failure (the simulation started and
+// failed), 2 configuration error (unknown workload, invalid option
+// combination — errors.Is core.ErrBadOptions / bench.ErrUnknownWorkload).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +25,20 @@ import (
 	"hpmvm/internal/hw/cpu"
 	"hpmvm/internal/vm/bytecode"
 )
+
+const (
+	exitRunFailure  = 1
+	exitConfigError = 2
+)
+
+// fail prints the error and exits with the config/run distinction.
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "hpmvm: %v\n", err)
+	if errors.Is(err, core.ErrBadOptions) || errors.Is(err, bench.ErrUnknownWorkload) {
+		os.Exit(exitConfigError)
+	}
+	os.Exit(exitRunFailure)
+}
 
 func main() {
 	workload := flag.String("workload", "db", "workload name (see -list)")
@@ -45,10 +64,9 @@ func main() {
 		return
 	}
 
-	builder, ok := bench.Get(*workload)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "hpmvm: unknown workload %q (try -list)\n", *workload)
-		os.Exit(1)
+	builder, err := bench.Lookup(*workload)
+	if err != nil {
+		fail(fmt.Errorf("%w (try -list)", err))
 	}
 	cfg := bench.RunConfig{
 		HeapFactor: *heapf,
@@ -60,21 +78,23 @@ func main() {
 		Adaptive:   *adaptive,
 		Seed:       *seed,
 	}
-	if *collector == "gencopy" {
+	switch *collector {
+	case "", "genms":
+	case "gencopy":
 		cfg.Collector = core.GenCopy
+	default:
+		fail(fmt.Errorf("%w: unknown collector %q (genms or gencopy)", core.ErrBadOptions, *collector))
 	}
 	if *disasm != "" {
 		if err := disassemble(builder, *disasm); err != nil {
-			fmt.Fprintf(os.Stderr, "hpmvm: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}
 
 	res, sys, err := bench.Run(builder, cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hpmvm: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	fmt.Printf("workload    %s (heap %d bytes, %s)\n", res.Program, res.HeapBytes, sys.VM.Collector.Name())

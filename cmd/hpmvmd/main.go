@@ -1,0 +1,90 @@
+// Command hpmvmd is the long-lived run service: an HTTP/JSON front end
+// over the simulation stack with a deterministic result cache, bounded
+// queue, per-request timeouts and graceful drain.
+//
+// Usage:
+//
+//	hpmvmd -addr :8080
+//	curl -s -X POST -d '{"workload":"db","seed":1}' localhost:8080/run
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/statsz
+//
+// Endpoints:
+//
+//	POST /run       execute (or replay from cache) one benchmark run
+//	GET  /healthz   liveness; 503 once draining
+//	GET  /statsz    cache hit rate, queue depth, per-workload latency
+//	GET  /workloads the registered workloads with calibration data
+//
+// On SIGTERM/SIGINT the server stops admitting runs, lets in-flight
+// requests finish (bounded by -drain), then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hpmvm/internal/bench"
+	_ "hpmvm/internal/bench/workloads"
+	"hpmvm/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	jobs := flag.Int("jobs", 0, "worker-pool width (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "queued runs beyond the worker width before 429")
+	cacheEntries := flag.Int("cache", 256, "result-cache capacity (entries)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-run wall-clock cap (0 = none)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM")
+	flag.Parse()
+
+	log.SetPrefix("hpmvmd: ")
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	s := serve.New(serve.Config{
+		Jobs:         *jobs,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheEntries,
+		Timeout:      *timeout,
+	})
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving %d workloads on %s (jobs %d, queue %d, cache %d, timeout %v)",
+			len(bench.Names()), *addr, *jobs, *queue, *cacheEntries, *timeout)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received, draining (budget %v)", *drain)
+	s.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+		srv.Close()
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "hpmvmd: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("drained cleanly")
+}

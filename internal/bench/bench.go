@@ -7,6 +7,8 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -94,6 +96,20 @@ func Get(name string) (Builder, bool) {
 	freeze()
 	b, ok := registry[name]
 	return b, ok
+}
+
+// ErrUnknownWorkload is the sentinel wrapped by Lookup when the name
+// is not registered; callers distinguish configuration mistakes from
+// run failures with errors.Is.
+var ErrUnknownWorkload = errors.New("unknown workload")
+
+// Lookup returns the builder for name, or an error wrapping
+// ErrUnknownWorkload naming the registered workloads.
+func Lookup(name string) (Builder, error) {
+	if b, ok := Get(name); ok {
+		return b, nil
+	}
+	return nil, fmt.Errorf("bench: %w %q (have %v)", ErrUnknownWorkload, name, NamesSorted())
 }
 
 // Names returns all registered workload names in registration order
@@ -208,31 +224,31 @@ type Result struct {
 	Obs *obs.Metrics
 }
 
-// Run executes one program under one configuration and returns the
-// metrics plus the live System for deeper inspection (time series,
-// policy decisions).
-func Run(b Builder, cfg RunConfig) (*Result, *core.System, error) {
-	prog := b()
+// Resolve maps the configuration to the fully resolved core.Options
+// for a program with the given calibrated minimum heap and hot field.
+// It is the single translation point Run uses, exported so the serve
+// layer can compute a run's canonical cache key (core.Fingerprint of
+// the resolved options) without executing it — the key and the
+// execution are guaranteed to agree because they share this function.
+func (cfg RunConfig) Resolve(minHeap uint64, hotField string) core.Options {
 	heapBytes := cfg.Heap
 	if heapBytes == 0 {
 		f := cfg.HeapFactor
 		if f == 0 {
 			f = 4
 		}
-		heapBytes = uint64(f * float64(prog.MinHeap))
+		heapBytes = uint64(f * float64(minHeap))
 	}
-	if cfg.Coalloc && !cfg.Monitoring {
-		cfg.Monitoring = true
-	}
+	monitoring := cfg.Monitoring || cfg.Coalloc
 	track := cfg.TrackFields
-	if len(track) == 0 && prog.HotFieldName != "" {
-		track = []string{prog.HotFieldName}
+	if len(track) == 0 && hotField != "" {
+		track = []string{hotField}
 	}
 
 	opts := core.Options{
 		Collector:        cfg.Collector,
 		HeapLimit:        heapBytes,
-		Monitoring:       cfg.Monitoring,
+		Monitoring:       monitoring,
 		SamplingInterval: cfg.Interval,
 		Event:            cfg.Event,
 		Coalloc:          cfg.Coalloc,
@@ -251,8 +267,30 @@ func Run(b Builder, cfg RunConfig) (*Result, *core.System, error) {
 		cc.Ranked = cfg.Ranked
 		opts.CoallocConfig = &cc
 	}
+	return opts
+}
 
-	sys := core.NewSystem(prog.U, opts)
+// Run executes one program under one configuration and returns the
+// metrics plus the live System for deeper inspection (time series,
+// policy decisions).
+func Run(b Builder, cfg RunConfig) (*Result, *core.System, error) {
+	return RunContext(context.Background(), b, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the simulation
+// aborts at its next safepoint once ctx is cancelled and the error
+// wraps ctx.Err(). A context that is never cancelled yields results
+// identical to Run.
+func RunContext(ctx context.Context, b Builder, cfg RunConfig) (*Result, *core.System, error) {
+	prog := b()
+	opts := cfg.Resolve(prog.MinHeap, prog.HotFieldName)
+	cfg.Monitoring = opts.Monitoring
+	heapBytes := opts.HeapLimit
+
+	sys, err := core.NewSystemOpts(prog.U, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: %s: %w", prog.Name, err)
+	}
 
 	plan := cfg.Plan
 	if plan == nil && !cfg.Adaptive {
@@ -265,7 +303,7 @@ func Run(b Builder, cfg RunConfig) (*Result, *core.System, error) {
 	if err := sys.Boot(plan, prog.Materialize); err != nil {
 		return nil, nil, fmt.Errorf("bench: %s: boot: %w", prog.Name, err)
 	}
-	if err := sys.Run(prog.Entry, cfg.MaxCycles); err != nil {
+	if err := sys.RunContext(ctx, prog.Entry, cfg.MaxCycles); err != nil {
 		return nil, nil, fmt.Errorf("bench: %s: %w", prog.Name, err)
 	}
 	if prog.Expected != nil {

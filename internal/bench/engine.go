@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	stdruntime "runtime"
 	"sync"
 	"time"
@@ -101,6 +103,17 @@ func (e *Engine) Stats() EngineStats {
 // Submit schedules f on the pool. After the first error, remaining
 // submissions are skipped (fail fast); the error surfaces from Wait.
 func (e *Engine) Submit(label string, f func() error) {
+	e.submit(label, f, false, nil)
+}
+
+// submit schedules f. In isolated mode the run's error stays with its
+// handle instead of latching into the engine's fail-fast error, and
+// the run executes even after another submission failed — the mode a
+// long-lived service needs to keep one engine across many independent
+// requests (one cancelled or failed request must not wedge the pool).
+// onSkip, when non-nil, is invoked if the fail-fast path drops f
+// without running it, so futures over f can still complete.
+func (e *Engine) submit(label string, f func() error, isolated bool, onSkip func()) {
 	e.mu.Lock()
 	e.submitted++
 	e.mu.Unlock()
@@ -110,11 +123,16 @@ func (e *Engine) Submit(label string, f func() error) {
 		e.sem <- struct{}{}
 		defer func() { <-e.sem }()
 
-		e.mu.Lock()
-		failed := e.err != nil
-		e.mu.Unlock()
-		if failed {
-			return
+		if !isolated {
+			e.mu.Lock()
+			failed := e.err != nil
+			e.mu.Unlock()
+			if failed {
+				if onSkip != nil {
+					onSkip()
+				}
+				return
+			}
 		}
 
 		start := time.Now()
@@ -127,7 +145,7 @@ func (e *Engine) Submit(label string, f func() error) {
 		if elapsed > e.maxRun {
 			e.maxRun = elapsed
 		}
-		if err != nil && e.err == nil {
+		if !isolated && err != nil && e.err == nil {
 			e.err = err
 		}
 		if e.progress != nil && err == nil {
@@ -146,11 +164,14 @@ func (e *Engine) Wait() error {
 	return e.err
 }
 
-// RunHandle is the future for one Run submitted to an engine. Its
-// accessors are valid only after Engine.Wait returns nil.
+// RunHandle is the future for one Run submitted to an engine. For
+// RunAsync, accessors are valid only after Engine.Wait returns nil;
+// for RunAsyncContext, Wait on the handle itself instead.
 type RunHandle struct {
-	res *Result
-	sys *core.System
+	res  *Result
+	sys  *core.System
+	err  error
+	done chan struct{}
 }
 
 // Result returns the run's metrics.
@@ -159,20 +180,59 @@ func (h *RunHandle) Result() *Result { return h.res }
 // Sys returns the run's live System (time series, policy decisions).
 func (h *RunHandle) Sys() *core.System { return h.sys }
 
+// Wait blocks until this run finished and returns its error. Unlike
+// Engine.Wait it synchronizes on one run only, so independent requests
+// sharing an engine do not wait on each other.
+func (h *RunHandle) Wait() error {
+	<-h.done
+	return h.err
+}
+
 // RunAsync schedules one program run on the engine and returns its
-// future.
+// future. The run participates in the engine's fail-fast error
+// (batch-experiment semantics).
 func (e *Engine) RunAsync(b Builder, cfg RunConfig, label string) *RunHandle {
-	h := &RunHandle{}
-	e.Submit(label, func() error {
-		res, sys, err := Run(b, cfg)
+	return e.runAsync(context.Background(), b, cfg, label, false)
+}
+
+// RunAsyncContext schedules one cancellable program run. The run is
+// isolated: its error is delivered through the handle's Wait rather
+// than latched into the engine, and it executes even if a previous
+// isolated run failed — a long-lived server keeps submitting to one
+// engine. A ctx already cancelled at dequeue time skips the simulation
+// entirely.
+func (e *Engine) RunAsyncContext(ctx context.Context, b Builder, cfg RunConfig, label string) *RunHandle {
+	return e.runAsync(ctx, b, cfg, label, true)
+}
+
+func (e *Engine) runAsync(ctx context.Context, b Builder, cfg RunConfig, label string, isolated bool) *RunHandle {
+	h := &RunHandle{done: make(chan struct{})}
+	e.submit(label, func() error {
+		defer close(h.done)
+		if err := ctx.Err(); err != nil {
+			h.err = err
+			return err
+		}
+		res, sys, err := RunContext(ctx, b, cfg)
 		if err != nil {
+			h.err = err
 			return err
 		}
 		h.res, h.sys = res, sys
 		return nil
+	}, isolated, func() {
+		// Fail-fast skip: another batch run already failed. Surface a
+		// per-handle error so Wait never hangs; Engine.Wait still
+		// reports the original failure.
+		h.err = errSkipped
+		close(h.done)
 	})
 	return h
 }
+
+// errSkipped marks a RunHandle whose run was dropped by the engine's
+// fail-fast path after another submission failed.
+var errSkipped = errors.New("bench: run skipped after earlier failure")
 
 // RepeatHandle is the future for a Repeat (reps runs with distinct
 // seeds) submitted to an engine. Each repetition is a separate pool

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunAsyncContextIsolated pins the server-mode engine contract: an
+// isolated run's failure is delivered through its own handle and never
+// latches the engine's fail-fast error, so one cancelled request cannot
+// wedge a long-lived pool.
+func TestRunAsyncContextIsolated(t *testing.T) {
+	e := NewEngine(2)
+	b, _ := Get("_unit_tiny")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h := e.RunAsyncContext(ctx, b, RunConfig{}, "cancelled")
+	if err := h.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run error = %v, want context.Canceled", err)
+	}
+	if h.Result() != nil {
+		t.Error("cancelled run produced a result")
+	}
+
+	// The engine must still execute and complete later isolated runs.
+	h2 := e.RunAsyncContext(context.Background(), b, RunConfig{}, "ok")
+	if err := h2.Wait(); err != nil {
+		t.Fatalf("run after cancelled sibling: %v", err)
+	}
+	if h2.Result() == nil || h2.Result().Cycles == 0 {
+		t.Fatal("isolated run returned no metrics")
+	}
+	if err := e.Wait(); err != nil {
+		t.Fatalf("isolated failure latched into the engine: %v", err)
+	}
+}
+
+// TestRunAsyncFailFastNeverHangsHandles pins the onSkip path: when a
+// batch (non-isolated) run fails and fail-fast drops later submissions,
+// every dropped handle's Wait must still return instead of hanging.
+func TestRunAsyncFailFastNeverHangsHandles(t *testing.T) {
+	e := NewEngine(1)
+	b, _ := Get("_unit_tiny")
+
+	// MaxCycles 1 exhausts the budget immediately: a deterministic
+	// failure that latches the engine error.
+	bad := e.RunAsync(b, RunConfig{MaxCycles: 1}, "bad")
+	handles := make([]*RunHandle, 4)
+	for i := range handles {
+		handles[i] = e.RunAsync(b, RunConfig{Seed: int64(i)}, "follow")
+	}
+	if err := bad.Wait(); err == nil {
+		t.Fatal("budget-exhausted run reported success")
+	}
+	// Every follow-up either ran before the failure surfaced or was
+	// skipped; both paths must complete the handle.
+	for i, h := range handles {
+		if err := h.Wait(); err != nil && !errors.Is(err, errSkipped) {
+			t.Errorf("handle %d: unexpected error %v", i, err)
+		}
+	}
+	if err := e.Wait(); err == nil {
+		t.Fatal("engine did not latch the batch failure")
+	}
+}

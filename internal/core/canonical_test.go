@@ -1,0 +1,169 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"hpmvm/internal/coalloc"
+	"hpmvm/internal/hw/cache"
+	"hpmvm/internal/monitor"
+	"hpmvm/internal/vm/aos"
+)
+
+// fullBase returns an Options value with every master switch on, so
+// every field is live (nothing is cleared by the canonical gating) and
+// a mutation of any behaviour-relevant field must perturb the hash.
+func fullBase() Options {
+	return Options{
+		Cache:            cache.DefaultP4(),
+		Collector:        GenMS,
+		HeapLimit:        32 << 20,
+		Monitoring:       true,
+		SamplingInterval: 25_000,
+		Event:            cache.EventL1Miss,
+		Coalloc:          true,
+		Adaptive:         true,
+		Seed:             7,
+		TrackFields:      []string{"String::value"},
+	}
+}
+
+// mutate changes v (an addressable field value) to a different value,
+// recursing into pointers and structs. Returns false if it found
+// nothing mutable.
+func mutate(v reflect.Value) bool {
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+		return true
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+		return true
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 1)
+		return true
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float() + 1.5)
+		return true
+	case reflect.String:
+		v.SetString(v.String() + "x")
+		return true
+	case reflect.Slice:
+		v.Set(reflect.Append(v, reflect.Zero(v.Type().Elem())))
+		return true
+	case reflect.Pointer:
+		elem := reflect.New(v.Type().Elem())
+		if !mutate(elem.Elem()) {
+			return false
+		}
+		v.Set(elem)
+		return true
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if mutate(v.Field(i)) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// TestCanonicalFingerprintCoversEveryField walks Options by reflection
+// and requires that mutating any field either changes the fingerprint
+// or is explicitly listed in canonicalIgnored with its justification.
+// A new Options field therefore cannot silently bypass the cache key:
+// this test fails until the field is serialized or consciously waived.
+func TestCanonicalFingerprintCoversEveryField(t *testing.T) {
+	base := fullBase()
+	h0 := base.Fingerprint()
+	typ := reflect.TypeOf(base)
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		m := fullBase()
+		fv := reflect.ValueOf(&m).Elem().Field(i)
+		if !mutate(fv) {
+			t.Fatalf("field %s: mutate found nothing to change — extend the helper", name)
+		}
+		h1 := m.Fingerprint()
+		if _, ignored := canonicalIgnored[name]; ignored {
+			if h1 != h0 {
+				t.Errorf("field %s is declared passive (canonicalIgnored) but changed the fingerprint", name)
+			}
+			continue
+		}
+		if h1 == h0 {
+			t.Errorf("field %s changed but the fingerprint did not — the cache would serve stale results; serialize it or add it to canonicalIgnored", name)
+		}
+	}
+}
+
+// TestCanonicalDefaultEquivalence pins the other half of the contract:
+// values that resolve to the same behaviour hash identically.
+func TestCanonicalDefaultEquivalence(t *testing.T) {
+	mdef := monitor.DefaultConfig()
+	cdef := coalloc.DefaultConfig()
+	adef := aos.DefaultConfig()
+
+	// The wiring overwrites Auto and TrackFields from the top-level
+	// options, so differing values there are unreachable.
+	mShadow := mdef
+	mShadow.Auto = !mdef.Auto
+	mShadow.TrackFields = []string{"unreachable"}
+
+	cases := []struct {
+		name string
+		a, b Options
+	}{
+		{"zero vs explicit defaults",
+			Options{},
+			Options{Cache: cache.DefaultP4(), HeapLimit: 64 << 20}},
+		{"nil vs default monitor config",
+			Options{Monitoring: true, SamplingInterval: 1000},
+			Options{Monitoring: true, SamplingInterval: 1000, MonitorConfig: &mdef}},
+		{"monitor config differing only in overwritten fields",
+			Options{Monitoring: true, SamplingInterval: 1000, MonitorConfig: &mdef},
+			Options{Monitoring: true, SamplingInterval: 1000, MonitorConfig: &mShadow}},
+		{"nil vs default coalloc config",
+			Options{Monitoring: true, Coalloc: true},
+			Options{Monitoring: true, Coalloc: true, CoallocConfig: &cdef}},
+		{"nil vs default aos config",
+			Options{Adaptive: true},
+			Options{Adaptive: true, AOSConfig: &adef}},
+		{"passive observer fields",
+			Options{Seed: 3},
+			Options{Seed: 3, Observe: true, TraceCapacity: 9999}},
+		{"monitoring knobs unreachable when monitoring off",
+			Options{},
+			Options{SamplingInterval: 12345, Event: cache.EventDTLBMiss, TrackFields: []string{"A::b"}}},
+	}
+	for _, tc := range cases {
+		if ha, hb := tc.a.Fingerprint(), tc.b.Fingerprint(); ha != hb {
+			t.Errorf("%s: fingerprints differ\n a=%s\n b=%s\n aStr=%s\n bStr=%s",
+				tc.name, ha, hb, tc.a.CanonicalString(), tc.b.CanonicalString())
+		}
+	}
+
+	// And the converse sanity check: a behaviour-relevant difference
+	// must not collapse.
+	a := Options{Seed: 1}
+	b := Options{Seed: 2}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("distinct seeds fingerprint identically")
+	}
+}
+
+// TestCanonicalStringStable pins that serialization is deterministic
+// across invocations (map-free, ordered fields).
+func TestCanonicalStringStable(t *testing.T) {
+	o := fullBase()
+	s1 := o.CanonicalString()
+	s2 := o.CanonicalString()
+	if s1 != s2 {
+		t.Fatalf("canonical string unstable:\n%s\n%s", s1, s2)
+	}
+	if len(s1) == 0 {
+		t.Fatal("empty canonical string")
+	}
+}

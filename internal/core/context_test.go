@@ -1,0 +1,123 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hpmvm/internal/core"
+)
+
+// TestRunContextIdentical pins that threading a live (but never fired)
+// cancellable context through RunContext is cycle-identical to the
+// plain Run path: the cancel hook polls at safepoints without charging
+// simulated cycles, so cancellation support cannot perturb results.
+func TestRunContextIdentical(t *testing.T) {
+	opts := core.Options{HeapLimit: 8 << 20, Seed: 5}
+
+	u1, main1 := buildListProgram(t, 5000)
+	sysA, err := core.NewSystemOpts(u1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sysA.Boot(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sysA.Run(main1, 500_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	u2, main2 := buildListProgram(t, 5000)
+	sysB, err := core.NewSystemOpts(u2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sysB.Boot(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := sysB.RunContext(ctx, main2, 500_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	if a, b := sysA.VM.Cycles(), sysB.VM.Cycles(); a != b {
+		t.Errorf("cycles differ: Run %d, RunContext %d", a, b)
+	}
+	ra, rb := sysA.VM.Results(), sysB.VM.Results()
+	if len(ra) != len(rb) {
+		t.Fatalf("result lengths differ: %v vs %v", ra, rb)
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Errorf("result[%d] differs: %d vs %d", i, ra[i], rb[i])
+		}
+	}
+}
+
+// TestRunContextPreCancelled pins that an already-dead context aborts
+// before any simulation work and surfaces context.Canceled.
+func TestRunContextPreCancelled(t *testing.T) {
+	u, main := buildListProgram(t, 1000)
+	sys, err := core.NewSystemOpts(u, core.Options{HeapLimit: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Boot(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = sys.RunContext(ctx, main, 500_000_000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if c := sys.VM.Cycles(); c != 0 {
+		t.Errorf("pre-cancelled run still simulated %d cycles", c)
+	}
+}
+
+// TestRunAbortMidway drives the cancel hook directly with a
+// deterministic countdown (no goroutines, no wall clock): after three
+// safepoint polls the run must abort with the injected error, partway
+// through the program.
+func TestRunAbortMidway(t *testing.T) {
+	u, main := buildListProgram(t, 200_000)
+	sys, err := core.NewSystemOpts(u, core.Options{HeapLimit: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Boot(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	sentinel := errors.New("stop now")
+	polls := 0
+	// Run uses context.Background(), whose Done() is nil, so RunContext
+	// installs no hook of its own and this one survives.
+	sys.VM.SetCancel(func() error {
+		polls++
+		if polls >= 3 {
+			return sentinel
+		}
+		return nil
+	})
+
+	err = sys.Run(main, 5_000_000_000)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("aborted run error = %v, want the injected sentinel", err)
+	}
+	if polls < 3 {
+		t.Fatalf("cancel hook polled %d times, want >= 3", polls)
+	}
+	cycles := sys.VM.Cycles()
+	if cycles == 0 {
+		t.Error("abort happened before any simulation")
+	}
+	// The poll quantum bounds how far past the third poll the run got.
+	// Three polls of CancelCheckCycles each (plus slack for GC and
+	// ticker events that stretch one quantum) is far below a full run.
+	if len(sys.VM.Results()) == 2 {
+		t.Error("run produced both results — the abort did not interrupt it")
+	}
+}

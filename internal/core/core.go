@@ -8,13 +8,22 @@
 //
 // Typical use:
 //
-//	sys := core.NewSystem(universe, core.Options{...})
+//	sys, err := core.NewSystemWith(universe,
+//		core.WithHeapLimit(64<<20),
+//		core.WithMonitoring(25_000),
+//		core.WithCoalloc(),
+//	)
 //	sys.Boot(plan, materialize)
-//	err := sys.Run(entry, 0)
+//	err = sys.RunContext(ctx, entry, 0)
 //	fmt.Println(sys.VM.Results(), sys.Hier().Stats().L1Misses)
+//
+// The struct-literal style (core.Options{...} with NewSystemOpts, or
+// the legacy NewSystem) remains supported; both constructors converge
+// on the same validation path.
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -133,14 +142,37 @@ func (f userFilter) HardwareEvent(kind cache.EventKind, addr uint64) {
 }
 
 // NewSystem builds a System over an already-populated universe (all
-// classes, methods and bytecode defined and Layout() called).
+// classes, methods and bytecode defined and Layout() called). It is
+// the legacy constructor: it panics on an invalid option combination.
+// New code should use NewSystemOpts or NewSystemWith, which return the
+// validation error instead.
 func NewSystem(u *classfile.Universe, opts Options) *System {
-	if opts.Cache.LineSize == 0 {
-		opts.Cache = cache.DefaultP4()
+	s, err := NewSystemOpts(u, opts)
+	if err != nil {
+		panic(fmt.Sprintf("core.NewSystem: %v (use NewSystemOpts to handle the error)", err))
 	}
-	if opts.HeapLimit == 0 {
-		opts.HeapLimit = 64 * 1024 * 1024
+	return s
+}
+
+// NewSystemWith builds a System from functional options (see Option).
+// It validates the combination and returns an error wrapping
+// ErrBadOptions on a mis-wiring the struct form would once have
+// accepted silently.
+func NewSystemWith(u *classfile.Universe, options ...Option) (*System, error) {
+	var o Options
+	for _, fn := range options {
+		fn(&o)
 	}
+	return NewSystemOpts(u, o)
+}
+
+// NewSystemOpts is the converged constructor both NewSystem and
+// NewSystemWith funnel into: validate, resolve defaults, wire.
+func NewSystemOpts(u *classfile.Universe, opts Options) (*System, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
 	s := &System{Opts: opts}
 	s.rng = rand.New(rand.NewSource(opts.Seed))
 	s.VM = runtime.New(u, opts.Cache)
@@ -197,7 +229,7 @@ func NewSystem(u *classfile.Universe, opts Options) *System {
 	if opts.Observe {
 		s.attachObserver(opts.TraceCapacity)
 	}
-	return s
+	return s, nil
 }
 
 // attachObserver builds the observability layer and wires it through
@@ -251,10 +283,32 @@ func (s *System) Boot(plan runtime.CompilePlan, materialize func(vm *runtime.VM)
 }
 
 // Run executes the entry method to completion (or the cycle budget)
-// with monitoring configured per the options. Statistics are reset at
-// the start of the run so boot work is excluded, matching the paper's
-// measurement methodology.
+// with monitoring configured per the options. It is a thin wrapper
+// over RunContext with a background context.
 func (s *System) Run(entry *classfile.Method, maxCycles uint64) error {
+	return s.RunContext(context.Background(), entry, maxCycles)
+}
+
+// RunContext executes the entry method to completion (or the cycle
+// budget), aborting early if ctx is cancelled. Cancellation is
+// cooperative: the VM polls the context at safepoints (the run loop's
+// scheduling points, at least every runtime.CancelCheckCycles
+// simulated cycles) and returns an error wrapping ctx.Err(). A context
+// that is never cancelled leaves the simulation cycle-identical to
+// Run. Statistics are reset at the start of the run so boot work is
+// excluded, matching the paper's measurement methodology.
+func (s *System) RunContext(ctx context.Context, entry *classfile.Method, maxCycles uint64) error {
+	if done := ctx.Done(); done != nil {
+		s.VM.SetCancel(func() error {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+				return nil
+			}
+		})
+		defer s.VM.SetCancel(nil)
+	}
 	// Cold caches and clean counters at program start.
 	s.VM.Hier.Flush()
 	s.VM.Hier.ResetStats()

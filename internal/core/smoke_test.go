@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"errors"
 	"testing"
 
 	"hpmvm/internal/core"
@@ -222,27 +223,18 @@ func TestAdaptiveAOSWithMonitoring(t *testing.T) {
 	}
 }
 
-func TestGenCopyIgnoresCoalloc(t *testing.T) {
-	// Co-allocation requires GenMS; requesting it with GenCopy must
-	// run correctly with the policy simply unused.
-	u, main := buildListProgram(t, 60_000)
-	sys := core.NewSystem(u, core.Options{
+func TestGenCopyRejectsCoalloc(t *testing.T) {
+	// Co-allocation requires GenMS; requesting it with GenCopy was
+	// once silently ignored and is now a validation error.
+	u, _ := buildListProgram(t, 1_000)
+	_, err := core.NewSystemOpts(u, core.Options{
 		Collector:        core.GenCopy,
 		HeapLimit:        8 << 20,
 		Monitoring:       true,
 		SamplingInterval: 2000,
 		Coalloc:          true,
 	})
-	if err := sys.Boot(nil, nil); err != nil {
-		t.Fatal(err)
-	}
-	if err := sys.Run(main, 0); err != nil {
-		t.Fatal(err)
-	}
-	if sys.CoallocPairs() != 0 {
-		t.Error("GenCopy reported co-allocated pairs")
-	}
-	if sys.GenCopy == nil || sys.GenMS != nil {
-		t.Error("collector wiring wrong")
+	if !errors.Is(err, core.ErrBadOptions) {
+		t.Fatalf("NewSystemOpts(GenCopy+Coalloc) err = %v, want ErrBadOptions", err)
 	}
 }

@@ -28,7 +28,9 @@ const (
 	EventL2Miss
 	// EventDTLBMiss fires on every data-TLB miss.
 	EventDTLBMiss
-	numEventKinds
+	// NumEventKinds bounds the valid kinds; values in [0, NumEventKinds)
+	// are samplable events.
+	NumEventKinds
 )
 
 // String returns the conventional event name.

@@ -8,7 +8,7 @@ import (
 // recordingListener counts events so listener-attached paths are
 // exercised by the fingerprint test and benchmarks.
 type recordingListener struct {
-	counts [numEventKinds]uint64
+	counts [NumEventKinds]uint64
 }
 
 func (l *recordingListener) HardwareEvent(kind EventKind, addr uint64) {

@@ -1,0 +1,613 @@
+// Package serve is the hpmvmd run service: a long-lived HTTP/JSON
+// front end over the simulation stack. It accepts run requests
+// (workload, heap, collector, monitoring, co-allocation, seed),
+// schedules them on the internal/bench worker-pool engine, and returns
+// the full result — timing, cache statistics, GC statistics,
+// co-allocation pairs, and optionally the obs metrics snapshot.
+//
+// Because a run is fully deterministic in (workload, resolved
+// core.Options, seed), the service fronts the engine with a
+// content-addressed result cache: requests are canonicalized
+// (bench.RunConfig.Resolve + core's canonical serialization), hashed,
+// and identical requests replay the stored response bytes. Single-
+// flight deduplication makes N concurrent identical requests cost one
+// simulation. Production plumbing: per-request timeouts, cooperative
+// cancellation threaded down to the VM's safepoints, a bounded queue
+// with 429 backpressure, graceful drain, and /healthz + /statsz fed by
+// internal/obs counters.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hpmvm/internal/bench"
+	"hpmvm/internal/core"
+	"hpmvm/internal/hw/cache"
+	"hpmvm/internal/monitor"
+	"hpmvm/internal/obs"
+)
+
+// ErrQueueFull is the sentinel returned (and mapped to HTTP 429) when
+// the run queue is at capacity.
+var ErrQueueFull = errors.New("serve: queue full")
+
+// ErrDraining is returned (HTTP 503) once the server began its
+// graceful drain and no longer accepts new runs.
+var ErrDraining = errors.New("serve: draining")
+
+// maxRequestBody bounds a /run request body.
+const maxRequestBody = 1 << 20
+
+// Config tunes a Server.
+type Config struct {
+	// Jobs is the worker-pool width (0 selects bench.DefaultJobs).
+	Jobs int
+	// QueueDepth bounds how many runs may be outstanding beyond the
+	// worker width before new requests are rejected with ErrQueueFull
+	// (0 selects 64).
+	QueueDepth int
+	// CacheEntries bounds the result cache (0 selects 256).
+	CacheEntries int
+	// Timeout caps one run's wall clock; the run is cancelled at its
+	// next safepoint when exceeded (0 = no cap).
+	Timeout time.Duration
+}
+
+// workloadMeta is the per-workload data needed to canonicalize a
+// request without executing it, captured once at construction from a
+// single builder invocation.
+type workloadMeta struct {
+	name        string
+	description string
+	minHeap     uint64
+	hotField    string
+	builder     bench.Builder
+}
+
+// wlStat is the per-workload latency accounting surfaced by /statsz.
+type wlStat struct {
+	runs   uint64
+	errors uint64
+	total  time.Duration
+	max    time.Duration
+}
+
+// Server is the run service. Create with New, mount Handler on an
+// http.Server.
+type Server struct {
+	cfg    Config
+	engine *bench.Engine
+	obs    *obs.Observer
+	// runner executes one run; tests swap it to count and gate
+	// executions.
+	runner func(ctx context.Context, b bench.Builder, cfg bench.RunConfig, label string) (*bench.Result, error)
+
+	// Owned obs counters (also visible in /statsz).
+	cRequests  *obs.Counter
+	cHits      *obs.Counter
+	cShared    *obs.Counter
+	cMisses    *obs.Counter
+	cEvictions *obs.Counter
+	cRejected  *obs.Counter
+	cExecuted  *obs.Counter
+	cFailed    *obs.Counter
+	cCancelled *obs.Counter
+
+	mu          sync.Mutex
+	cache       *resultCache
+	inflight    map[string]*call
+	outstanding int
+	draining    bool
+	perWorkload map[string]*wlStat
+
+	meta map[string]workloadMeta // immutable after New
+}
+
+// New builds a Server over the frozen workload registry. It invokes
+// every registered builder once to capture the calibrated minimum heap
+// and hot field each workload canonicalizes with.
+func New(cfg Config) *Server {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = bench.DefaultJobs()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 256
+	}
+	s := &Server{
+		cfg:         cfg,
+		engine:      bench.NewEngine(cfg.Jobs),
+		obs:         obs.New(0),
+		cache:       newResultCache(cfg.CacheEntries),
+		inflight:    make(map[string]*call),
+		perWorkload: make(map[string]*wlStat),
+		meta:        make(map[string]workloadMeta),
+	}
+	s.runner = s.engineRunner
+	s.cRequests = s.obs.Counter("serve.requests")
+	s.cHits = s.obs.Counter("serve.cache.hits")
+	s.cShared = s.obs.Counter("serve.cache.shared")
+	s.cMisses = s.obs.Counter("serve.cache.misses")
+	s.cEvictions = s.obs.Counter("serve.cache.evictions")
+	s.cRejected = s.obs.Counter("serve.queue.rejected")
+	s.cExecuted = s.obs.Counter("serve.runs.executed")
+	s.cFailed = s.obs.Counter("serve.runs.failed")
+	s.cCancelled = s.obs.Counter("serve.runs.cancelled")
+	s.obs.RegisterSampled("serve.queue.outstanding", func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return uint64(s.outstanding)
+	})
+
+	for _, name := range bench.Names() {
+		b, _ := bench.Get(name)
+		prog := b()
+		s.meta[name] = workloadMeta{
+			name:        name,
+			description: prog.Description,
+			minHeap:     prog.MinHeap,
+			hotField:    prog.HotFieldName,
+			builder:     b,
+		}
+	}
+	return s
+}
+
+// Drain stops admitting new runs; /run answers 503 and /healthz flips
+// to draining so load balancers pull the instance. In-flight runs
+// finish normally (http.Server.Shutdown waits for their handlers).
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Handler returns the service mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/workloads", s.handleWorkloads)
+	return mux
+}
+
+// Request is the JSON body of POST /run. Zero values select the same
+// defaults the hpmvm CLI uses.
+type Request struct {
+	// Workload names a registered benchmark program.
+	Workload string `json:"workload"`
+	// HeapFactor sizes the heap as a multiple of the workload's
+	// calibrated minimum (0 = 4x); HeapBytes overrides it exactly.
+	HeapFactor float64 `json:"heap_factor,omitempty"`
+	HeapBytes  uint64  `json:"heap_bytes,omitempty"`
+	// Collector is "genms" (default) or "gencopy".
+	Collector string `json:"collector,omitempty"`
+	// Monitoring enables HPM sampling; Interval is the hardware
+	// sampling interval in events (0 = adaptive auto mode). Event is
+	// "l1" (default), "l2" or "dtlb".
+	Monitoring bool   `json:"monitoring,omitempty"`
+	Interval   uint64 `json:"interval,omitempty"`
+	Event      string `json:"event,omitempty"`
+	// Coalloc enables HPM-guided co-allocation (implies monitoring).
+	Coalloc bool `json:"coalloc,omitempty"`
+	// Adaptive runs AOS recording mode instead of the all-opt plan.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// Seed drives the deterministic PRNG.
+	Seed int64 `json:"seed,omitempty"`
+	// MaxCycles bounds the run (0 = no bound).
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
+	// TrackFields restricts the monitor time series ("Class::field").
+	TrackFields []string `json:"track_fields,omitempty"`
+	// Observe attaches the obs layer; the response then carries the
+	// final counter/phase snapshot.
+	Observe bool `json:"observe,omitempty"`
+}
+
+// RunResponse is the JSON body of a successful /run. Identical
+// requests produce byte-identical bodies — cold or cached — which the
+// serve-smoke target and TestServeConcurrentMixed assert.
+type RunResponse struct {
+	Workload  string `json:"workload"`
+	Key       string `json:"key"`
+	HeapBytes uint64 `json:"heap_bytes"`
+	Collector string `json:"collector"`
+	Seed      int64  `json:"seed"`
+
+	Cycles  uint64  `json:"cycles"`
+	Instret uint64  `json:"instret"`
+	CPI     float64 `json:"cpi"`
+
+	Results []int64     `json:"results"`
+	Cache   cache.Stats `json:"cache_stats"`
+
+	MinorGCs      uint64  `json:"minor_gcs"`
+	MajorGCs      uint64  `json:"major_gcs"`
+	GCCycles      uint64  `json:"gc_cycles"`
+	CoallocPairs  uint64  `json:"coalloc_pairs"`
+	Fragmentation float64 `json:"fragmentation"`
+
+	Monitor      *monitor.Stats `json:"monitor,omitempty"`
+	SamplesTaken uint64         `json:"samples_taken"`
+
+	Obs *obs.Metrics `json:"obs,omitempty"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// resolved is a request after canonicalization.
+type resolved struct {
+	meta workloadMeta
+	cfg  bench.RunConfig
+	opts core.Options
+	key  string
+}
+
+// resolve canonicalizes a request: workload lookup, enum parsing,
+// RunConfig construction, options resolution and validation, and the
+// content-address the cache is keyed by.
+func (s *Server) resolve(req Request) (resolved, error) {
+	var r resolved
+	meta, ok := s.meta[req.Workload]
+	if !ok {
+		return r, fmt.Errorf("serve: %w %q", bench.ErrUnknownWorkload, req.Workload)
+	}
+	r.meta = meta
+
+	cfg := bench.RunConfig{
+		Heap:        req.HeapBytes,
+		HeapFactor:  req.HeapFactor,
+		Monitoring:  req.Monitoring,
+		Interval:    req.Interval,
+		Coalloc:     req.Coalloc,
+		Adaptive:    req.Adaptive,
+		Seed:        req.Seed,
+		MaxCycles:   req.MaxCycles,
+		TrackFields: req.TrackFields,
+		Observe:     req.Observe,
+	}
+	switch strings.ToLower(req.Collector) {
+	case "", "genms":
+		cfg.Collector = core.GenMS
+	case "gencopy":
+		cfg.Collector = core.GenCopy
+	default:
+		return r, fmt.Errorf("serve: %w: unknown collector %q (genms or gencopy)", core.ErrBadOptions, req.Collector)
+	}
+	switch strings.ToLower(req.Event) {
+	case "", "l1", "l1_miss":
+		cfg.Event = cache.EventL1Miss
+	case "l2", "l2_miss":
+		cfg.Event = cache.EventL2Miss
+	case "dtlb", "dtlb_miss":
+		cfg.Event = cache.EventDTLBMiss
+	default:
+		return r, fmt.Errorf("serve: %w: unknown event %q (l1, l2 or dtlb)", core.ErrBadOptions, req.Event)
+	}
+
+	opts := cfg.Resolve(meta.minHeap, meta.hotField)
+	if err := opts.Validate(); err != nil {
+		return r, err
+	}
+	r.cfg = cfg
+	r.opts = opts
+	r.key = requestKey(meta.name, cfg.MaxCycles, cfg.Observe, opts)
+	return r, nil
+}
+
+// requestKey is the content address of one run request: the workload,
+// the request-level knobs that shape the response but live outside
+// core.Options (cycle budget, observe), and the canonical option
+// serialization. Everything that can change a single response byte is
+// in here; nothing else is.
+func requestKey(workload string, maxCycles uint64, observe bool, opts core.Options) string {
+	payload := fmt.Sprintf("workload=%s;max_cycles=%d;observe=%t;%s",
+		workload, maxCycles, observe, opts.CanonicalString())
+	sum := sha256.Sum256([]byte(payload))
+	return hex.EncodeToString(sum[:])
+}
+
+// handleRun is POST /run.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("serve: POST only"))
+		return
+	}
+	s.cRequests.Inc()
+
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	res, err := s.resolve(req)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+
+	body, disposition, err := s.runCached(r.Context(), res.key, func(ctx context.Context) ([]byte, error) {
+		return s.execute(ctx, res)
+	})
+	if err != nil {
+		if isCancellation(err) {
+			s.cCancelled.Inc()
+		}
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Hpmvmd-Cache", disposition)
+	w.Header().Set("X-Hpmvmd-Key", res.key)
+	w.Write(body)
+}
+
+// execute admits one run through the bounded queue, schedules it on
+// the engine with the configured timeout, and marshals the response.
+func (s *Server) execute(ctx context.Context, res resolved) ([]byte, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	capacity := s.cfg.Jobs + s.cfg.QueueDepth
+	if s.outstanding >= capacity {
+		s.mu.Unlock()
+		s.cRejected.Inc()
+		return nil, fmt.Errorf("%w: %d runs outstanding (workers %d + queue %d)",
+			ErrQueueFull, capacity, s.cfg.Jobs, s.cfg.QueueDepth)
+	}
+	s.outstanding++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.outstanding--
+		s.mu.Unlock()
+	}()
+
+	runCtx := ctx
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	result, err := s.runner(runCtx, res.meta.builder, res.cfg, res.meta.name)
+	s.recordLatency(res.meta.name, time.Since(start), err)
+	if err != nil {
+		if !isCancellation(err) {
+			s.cFailed.Inc()
+		}
+		return nil, err
+	}
+	s.cExecuted.Inc()
+	return marshalResponse(res, result)
+}
+
+// engineRunner is the production runner: one isolated, cancellable
+// engine submission per request.
+func (s *Server) engineRunner(ctx context.Context, b bench.Builder, cfg bench.RunConfig, label string) (*bench.Result, error) {
+	h := s.engine.RunAsyncContext(ctx, b, cfg, label)
+	if err := h.Wait(); err != nil {
+		return nil, err
+	}
+	return h.Result(), nil
+}
+
+// marshalResponse renders the canonical response body. The field
+// layout is fixed and every nested struct is map-free, so identical
+// results marshal to identical bytes.
+func marshalResponse(res resolved, r *bench.Result) ([]byte, error) {
+	resp := RunResponse{
+		Workload:      res.meta.name,
+		Key:           res.key,
+		HeapBytes:     r.HeapBytes,
+		Collector:     res.opts.Collector.String(),
+		Seed:          res.opts.Seed,
+		Cycles:        r.Cycles,
+		Instret:       r.Instret,
+		Results:       r.Results,
+		Cache:         r.Cache,
+		MinorGCs:      r.MinorGCs,
+		MajorGCs:      r.MajorGCs,
+		GCCycles:      r.GCCycles,
+		CoallocPairs:  r.CoallocPairs,
+		Fragmentation: r.Fragmentation,
+		SamplesTaken:  r.SamplesTaken,
+		Obs:           r.Obs,
+	}
+	if r.Instret > 0 {
+		resp.CPI = float64(r.Cycles) / float64(r.Instret)
+	}
+	if res.opts.Monitoring {
+		ms := r.MonitorStats
+		resp.Monitor = &ms
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return nil, fmt.Errorf("serve: marshal response: %w", err)
+	}
+	return append(body, '\n'), nil
+}
+
+// recordLatency accumulates per-workload wall-clock accounting.
+func (s *Server) recordLatency(name string, d time.Duration, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.perWorkload[name]
+	if st == nil {
+		st = &wlStat{}
+		s.perWorkload[name] = st
+	}
+	st.runs++
+	st.total += d
+	if d > st.max {
+		st.max = d
+	}
+	if err != nil {
+		st.errors++
+	}
+}
+
+// handleHealthz is GET /healthz: 200 while serving, 503 once draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// WorkloadLatency is one workload's /statsz latency row.
+type WorkloadLatency struct {
+	Workload string  `json:"workload"`
+	Runs     uint64  `json:"runs"`
+	Errors   uint64  `json:"errors"`
+	MeanMS   float64 `json:"mean_ms"`
+	MaxMS    float64 `json:"max_ms"`
+}
+
+// Statsz is the GET /statsz body.
+type Statsz struct {
+	Draining bool `json:"draining"`
+
+	Queue struct {
+		Jobs        int `json:"jobs"`
+		Depth       int `json:"depth"`
+		Outstanding int `json:"outstanding"`
+	} `json:"queue"`
+
+	Cache struct {
+		Entries   int     `json:"entries"`
+		Capacity  int     `json:"capacity"`
+		Hits      uint64  `json:"hits"`
+		Shared    uint64  `json:"shared"`
+		Misses    uint64  `json:"misses"`
+		Evictions uint64  `json:"evictions"`
+		HitRate   float64 `json:"hit_rate"`
+	} `json:"cache"`
+
+	Workloads []WorkloadLatency  `json:"workloads"`
+	Counters  []obs.CounterValue `json:"counters"`
+}
+
+// Stats snapshots the service counters (also served as /statsz).
+func (s *Server) Stats() Statsz {
+	snap := s.obs.Snapshot() // before s.mu: the sampled closure locks it
+
+	var st Statsz
+	s.mu.Lock()
+	st.Draining = s.draining
+	st.Queue.Jobs = s.cfg.Jobs
+	st.Queue.Depth = s.cfg.QueueDepth
+	st.Queue.Outstanding = s.outstanding
+	st.Cache.Entries = s.cache.len()
+	st.Cache.Capacity = s.cfg.CacheEntries
+	for name, w := range s.perWorkload {
+		row := WorkloadLatency{
+			Workload: name,
+			Runs:     w.runs,
+			Errors:   w.errors,
+			MaxMS:    float64(w.max) / float64(time.Millisecond),
+		}
+		if w.runs > 0 {
+			row.MeanMS = float64(w.total) / float64(w.runs) / float64(time.Millisecond)
+		}
+		st.Workloads = append(st.Workloads, row)
+	}
+	s.mu.Unlock()
+
+	st.Cache.Hits = s.cHits.Value()
+	st.Cache.Shared = s.cShared.Value()
+	st.Cache.Misses = s.cMisses.Value()
+	st.Cache.Evictions = s.cEvictions.Value()
+	if served := st.Cache.Hits + st.Cache.Shared + st.Cache.Misses; served > 0 {
+		st.Cache.HitRate = float64(st.Cache.Hits+st.Cache.Shared) / float64(served)
+	}
+	sort.Slice(st.Workloads, func(i, j int) bool { return st.Workloads[i].Workload < st.Workloads[j].Workload })
+	st.Counters = snap.Counters
+	return st
+}
+
+// handleStatsz is GET /statsz.
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats())
+}
+
+// workloadInfo is one /workloads row.
+type workloadInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	MinHeap     uint64 `json:"min_heap"`
+	HotField    string `json:"hot_field,omitempty"`
+}
+
+// handleWorkloads is GET /workloads: the registry with calibration.
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	rows := make([]workloadInfo, 0, len(s.meta))
+	for _, m := range s.meta {
+		rows = append(rows, workloadInfo{Name: m.name, Description: m.description, MinHeap: m.minHeap, HotField: m.hotField})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rows)
+}
+
+// statusFor maps service errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, bench.ErrUnknownWorkload):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrBadOptions):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away; the status is never seen.
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeError renders the JSON error envelope.
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}

@@ -67,6 +67,11 @@ type VM struct {
 
 	tickers []Ticker
 
+	// cancel, when non-nil, is polled from the run loop at safepoint
+	// granularity (see CancelCheckCycles); a non-nil return aborts the
+	// run with that error. Installed by core.System.RunContext.
+	cancel func() error
+
 	results []int64
 	failure error
 	started bool
@@ -159,14 +164,35 @@ func (vm *VM) Start(entry *classfile.Method) error {
 	return nil
 }
 
+// CancelCheckCycles is the safepoint poll quantum: with a cancel hook
+// installed, the run loop pauses at least this often (in simulated
+// cycles) to poll it. The pause points are the same scheduling points
+// tickers run at — the application is between instructions with no GC
+// in progress, so aborting there is always safe. The quantum only caps
+// how long the loop runs between polls; it never changes when tickers
+// fire or how cycles accumulate, so a run with an unfired cancel hook
+// is cycle-identical to one without (pinned by TestRunContextIdentical).
+const CancelCheckCycles = 250_000
+
+// SetCancel installs (or, with nil, removes) the cooperative
+// cancellation hook polled by Run. Must not be called while Run is
+// executing.
+func (vm *VM) SetCancel(f func() error) { vm.cancel = f }
+
 // Run executes until the program halts or maxCycles elapse (0 means no
-// limit). It returns the program's failure, if any.
+// limit). It returns the program's failure, if any, or the cancel
+// hook's error if the run was aborted.
 func (vm *VM) Run(maxCycles uint64) error {
 	if !vm.started {
 		return fmt.Errorf("runtime: Run before Start")
 	}
 	c := vm.CPU
 	for !c.Halted() {
+		if vm.cancel != nil {
+			if err := vm.cancel(); err != nil {
+				return fmt.Errorf("runtime: run aborted after %d cycles: %w", c.Cycles(), err)
+			}
+		}
 		// Find the earliest ticker deadline.
 		next := ^uint64(0)
 		for _, t := range vm.tickers {
@@ -180,6 +206,11 @@ func (vm *VM) Run(maxCycles uint64) error {
 		}
 		if maxCycles != 0 && next > maxCycles {
 			next = maxCycles
+		}
+		if vm.cancel != nil {
+			if q := c.Cycles() + CancelCheckCycles; q < next {
+				next = q
+			}
 		}
 		for c.Cycles() < next {
 			if !c.Step() {

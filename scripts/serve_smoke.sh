@@ -1,0 +1,73 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end check of the hpmvmd deterministic result
+# cache: boot the daemon, send the same run request twice, and assert
+# the second response is a byte-identical cache hit. Exercises the real
+# binary, the real HTTP path and the real simulation (one cold run of
+# the compress workload), then verifies graceful SIGTERM shutdown.
+#
+# Usage: scripts/serve_smoke.sh [port]   (default 18080)
+set -eu
+
+PORT="${1:-18080}"
+ADDR="127.0.0.1:${PORT}"
+BODY='{"workload":"compress","seed":1,"monitoring":true,"interval":25000}'
+TMP="$(mktemp -d)"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "serve-smoke: building hpmvmd"
+go build -o "$TMP/hpmvmd" ./cmd/hpmvmd
+
+"$TMP/hpmvmd" -addr "$ADDR" -cache 16 &
+PID=$!
+
+# Wait for liveness (the daemon calibrates every workload at startup).
+i=0
+until curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: FAIL — daemon did not become healthy" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+echo "serve-smoke: cold request"
+curl -sf -D "$TMP/h1" -X POST -d "$BODY" "http://$ADDR/run" -o "$TMP/r1"
+echo "serve-smoke: cached request"
+curl -sf -D "$TMP/h2" -X POST -d "$BODY" "http://$ADDR/run" -o "$TMP/r2"
+
+disp1=$(tr -d '\r' <"$TMP/h1" | awk -F': ' 'tolower($1)=="x-hpmvmd-cache"{print $2}')
+disp2=$(tr -d '\r' <"$TMP/h2" | awk -F': ' 'tolower($1)=="x-hpmvmd-cache"{print $2}')
+if [ "$disp1" != "miss" ]; then
+    echo "serve-smoke: FAIL — first request disposition '$disp1', want miss" >&2
+    exit 1
+fi
+if [ "$disp2" != "hit" ]; then
+    echo "serve-smoke: FAIL — second request disposition '$disp2', want hit" >&2
+    exit 1
+fi
+if ! cmp -s "$TMP/r1" "$TMP/r2"; then
+    echo "serve-smoke: FAIL — cached response is not byte-identical to the cold one" >&2
+    exit 1
+fi
+
+hits=$(curl -sf "http://$ADDR/statsz" | grep -c '"hits": 1') || true
+if [ "$hits" != "1" ]; then
+    echo "serve-smoke: FAIL — /statsz does not report the cache hit" >&2
+    exit 1
+fi
+
+echo "serve-smoke: draining"
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: FAIL — daemon did not exit on SIGTERM" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+wait "$PID" 2>/dev/null || true
+
+echo "serve-smoke: OK — cold=miss, replay=hit, responses byte-identical, clean drain"
