@@ -5,7 +5,7 @@ GO ?= go
 
 .PHONY: ci vet build test race bench experiments obs serve-smoke
 
-ci: vet build test race
+ci: vet build test race serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,13 +20,14 @@ test:
 # the engine itself (and its determinism sweep), the workload
 # builders it invokes concurrently, the cache hot path every
 # concurrent run hammers, the observability layer host-side
-# consumers snapshot while producers emit, and the hpmvmd serve
-# layer (single-flight cache + bounded queue under 32 concurrent
-# handler requests).
+# consumers snapshot while producers emit, the hpmvmd serve layer
+# (single-flight cache + bounded queue under 32 concurrent handler
+# requests), and the core snapshot/restore keystone (byte-identical
+# warm starts across collectors and policies).
 # Race instrumentation slows the workload suite well past go test's
 # default 10m timeout, hence the explicit budget.
 race:
-	$(GO) test -race -timeout 60m ./internal/bench/... ./internal/hw/cache/... ./internal/obs/... ./internal/serve/...
+	$(GO) test -race -timeout 60m ./internal/bench/... ./internal/core/... ./internal/hw/cache/... ./internal/obs/... ./internal/serve/...
 
 # End-to-end hpmvmd smoke test: boot the daemon, issue the same run
 # request twice, assert the replay is a byte-identical cache hit, and

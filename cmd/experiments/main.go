@@ -49,6 +49,9 @@ type expRecord struct {
 	WallSeconds     float64 `json:"wall_seconds"`
 	RunSeconds      float64 `json:"run_seconds"` // summed per-run wall clock
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// Metrics carries experiment-published headline numbers (e.g. the
+	// warmstart experiment's warm_start_speedup).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // benchReport is the machine-readable perf record -bench-json writes.
@@ -135,6 +138,7 @@ func main() {
 			WallSeconds:     res.Elapsed.Seconds(),
 			RunSeconds:      res.RunTime.Seconds(),
 			SpeedupVsSerial: res.Speedup(),
+			Metrics:         res.Metrics,
 		})
 		report.TotalRuns += res.Runs
 		report.TotalWallSeconds += res.Elapsed.Seconds()

@@ -283,15 +283,33 @@ func Run(b Builder, cfg RunConfig) (*Result, *core.System, error) {
 // identical to Run.
 func RunContext(ctx context.Context, b Builder, cfg RunConfig) (*Result, *core.System, error) {
 	prog := b()
-	opts := cfg.Resolve(prog.MinHeap, prog.HotFieldName)
-	cfg.Monitoring = opts.Monitoring
-	heapBytes := opts.HeapLimit
-
-	sys, err := core.NewSystemOpts(prog.U, opts)
+	sys, opts, err := buildSystem(prog, cfg)
 	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Monitoring = opts.Monitoring
+	if err := sys.RunContext(ctx, prog.Entry, cfg.MaxCycles); err != nil {
 		return nil, nil, fmt.Errorf("bench: %s: %w", prog.Name, err)
 	}
+	if prog.Expected != nil {
+		if err := checkResults(prog.Expected, sys.VM.Results()); err != nil {
+			return nil, nil, fmt.Errorf("bench: %s: %w", prog.Name, err)
+		}
+	}
+	return collectResult(prog, cfg, opts.HeapLimit, sys), sys, nil
+}
 
+// buildSystem constructs and boots a fresh System for prog under cfg —
+// the shared front half of RunContext, RunPrefixContext and
+// RunFromSnapshotContext, so cold, prefix and warm-started runs are
+// guaranteed to boot identically (a precondition of the replay-based
+// restore contract, see core.System.Restore).
+func buildSystem(prog *Program, cfg RunConfig) (*core.System, core.Options, error) {
+	opts := cfg.Resolve(prog.MinHeap, prog.HotFieldName)
+	sys, err := core.NewSystemOpts(prog.U, opts)
+	if err != nil {
+		return nil, opts, fmt.Errorf("bench: %s: %w", prog.Name, err)
+	}
 	plan := cfg.Plan
 	if plan == nil && !cfg.Adaptive {
 		level := cfg.OptLevel
@@ -301,17 +319,15 @@ func RunContext(ctx context.Context, b Builder, cfg RunConfig) (*Result, *core.S
 		plan = AllOptPlan(prog.U, level)
 	}
 	if err := sys.Boot(plan, prog.Materialize); err != nil {
-		return nil, nil, fmt.Errorf("bench: %s: boot: %w", prog.Name, err)
+		return nil, opts, fmt.Errorf("bench: %s: boot: %w", prog.Name, err)
 	}
-	if err := sys.RunContext(ctx, prog.Entry, cfg.MaxCycles); err != nil {
-		return nil, nil, fmt.Errorf("bench: %s: %w", prog.Name, err)
-	}
-	if prog.Expected != nil {
-		if err := checkResults(prog.Expected, sys.VM.Results()); err != nil {
-			return nil, nil, fmt.Errorf("bench: %s: %w", prog.Name, err)
-		}
-	}
+	return sys, opts, nil
+}
 
+// collectResult assembles the Result metrics from a finished system.
+// RunContext and RunFromSnapshotContext share it, so cold and
+// warm-started runs report identically shaped results.
+func collectResult(prog *Program, cfg RunConfig, heapBytes uint64, sys *core.System) *Result {
 	res := &Result{
 		Program:   prog.Name,
 		Config:    cfg,
@@ -337,10 +353,10 @@ func RunContext(ctx context.Context, b Builder, cfg RunConfig) (*Result, *core.S
 	}
 	res.SamplesTaken = sys.Unit.Stats().SamplesTaken
 	if sys.Obs != nil {
-		m := sys.Obs.Snapshot()
+		m := sys.Obs.Metrics()
 		res.Obs = &m
 	}
-	return res, sys, nil
+	return res
 }
 
 func checkResults(want, got []int64) error {

@@ -234,6 +234,26 @@ func (e *Engine) runAsync(ctx context.Context, b Builder, cfg RunConfig, label s
 // fail-fast path after another submission failed.
 var errSkipped = errors.New("bench: run skipped after earlier failure")
 
+// SubmitIsolated schedules an arbitrary task on the pool with service
+// semantics (like RunAsyncContext): its error stays out of the
+// engine's fail-fast latch and is returned by the wait function, which
+// blocks until the task finished. A long-lived server uses it for
+// work that is not a plain program run — e.g. computing a warm-start
+// prefix snapshot — while still respecting the worker-pool width.
+func (e *Engine) SubmitIsolated(label string, f func() error) (wait func() error) {
+	done := make(chan struct{})
+	var err error
+	e.submit(label, func() error {
+		defer close(done)
+		err = f()
+		return err
+	}, true, nil)
+	return func() error {
+		<-done
+		return err
+	}
+}
+
 // RepeatHandle is the future for a Repeat (reps runs with distinct
 // seeds) submitted to an engine. Each repetition is a separate pool
 // run, so repetitions of one configuration overlap with everything

@@ -16,7 +16,7 @@ import (
 // paper-vs-measured values.
 
 // Experiment names accepted by RunExperiment.
-var ExperimentNames = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablations"}
+var ExperimentNames = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablations", "warmstart"}
 
 // Options tunes experiment execution.
 type ExpOptions struct {
@@ -37,6 +37,18 @@ type ExpOptions struct {
 	// eng, when set (by RunExperimentFull), is the shared engine the
 	// experiment executes on, so accounting lands in one place.
 	eng *Engine
+	// metrics, when set (by RunExperimentFull), collects named numeric
+	// headline results (e.g. the warm-start speedup) for the JSON
+	// report.
+	metrics map[string]float64
+}
+
+// recordMetric publishes a named headline number for the JSON report;
+// a no-op outside RunExperimentFull.
+func (o ExpOptions) recordMetric(name string, v float64) {
+	if o.metrics != nil {
+		o.metrics[name] = v
+	}
 }
 
 // DefaultExpOptions mirrors the paper's methodology.
@@ -100,6 +112,8 @@ func RunExperiment(name string, opt ExpOptions) (string, error) {
 		return Fig8(opt)
 	case "ablations":
 		return Ablations(opt)
+	case "warmstart":
+		return Warmstart(opt)
 	default:
 		return "", fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(ExperimentNames, ", "))
 	}
@@ -114,6 +128,9 @@ type ExpRun struct {
 	Runs    int           // independent program runs executed
 	RunTime time.Duration // summed per-run wall clock (serial-equivalent time)
 	Elapsed time.Duration // actual wall clock
+	// Metrics carries named headline numbers the experiment published
+	// via recordMetric (nil when it published none).
+	Metrics map[string]float64
 }
 
 // Speedup estimates the speedup over a serial execution: the summed
@@ -134,20 +151,25 @@ func RunExperimentFull(name string, opt ExpOptions) (ExpRun, error) {
 	e := NewEngine(opt.Jobs)
 	e.SetProgress(opt.Progress)
 	opt.eng = e
+	opt.metrics = make(map[string]float64)
 	start := time.Now()
 	out, err := RunExperiment(name, opt)
 	if err != nil {
 		return ExpRun{}, err
 	}
 	st := e.Stats()
-	return ExpRun{
+	r := ExpRun{
 		Name:    name,
 		Output:  out,
 		Jobs:    st.Jobs,
 		Runs:    st.Runs,
 		RunTime: st.RunTime,
 		Elapsed: time.Since(start),
-	}, nil
+	}
+	if len(opt.metrics) > 0 {
+		r.Metrics = opt.metrics
+	}
+	return r, nil
 }
 
 // --- Table 1: benchmark programs -------------------------------------------

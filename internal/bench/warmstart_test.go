@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hpmvm/internal/core"
+)
+
+// TestWarmStartMatchesColdRun pins the bench-layer warm-start contract
+// on the tiny unit workload: an exact-config RunFromSnapshot reproduces
+// the cold run's metrics, a divergent interval retargets and still
+// verifies the program results, and the guard rails (workload tag,
+// option mismatch) fail loudly.
+func TestWarmStartMatchesColdRun(t *testing.T) {
+	b, _ := Get("_unit_tiny")
+	cfg := RunConfig{Monitoring: true, Interval: 1000, Seed: 3, Observe: true}
+
+	cold, _, err := Run(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot, err := RunPrefix(b, cfg, cold.Cycles/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm, _, err := RunFromSnapshot(b, cfg, snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cycles != cold.Cycles {
+		t.Errorf("warm cycles = %d, cold = %d", warm.Cycles, cold.Cycles)
+	}
+	if !reflect.DeepEqual(warm.Cache, cold.Cache) {
+		t.Errorf("warm cache stats %+v != cold %+v", warm.Cache, cold.Cache)
+	}
+	if warm.SamplesTaken != cold.SamplesTaken {
+		t.Errorf("warm samples = %d, cold = %d", warm.SamplesTaken, cold.SamplesTaken)
+	}
+	if !reflect.DeepEqual(warm.Results, cold.Results) {
+		t.Errorf("warm results %v != cold %v", warm.Results, cold.Results)
+	}
+
+	// Divergent interval: the retargeted tail still completes and the
+	// program's expected results are verified inside RunFromSnapshot.
+	div := cfg
+	div.Interval = 500
+	wdiv, _, err := RunFromSnapshot(b, div, snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wdiv.Cycles == 0 {
+		t.Error("divergent warm start produced no cycles")
+	}
+
+	// Wrong workload tag.
+	sn, err := core.DecodeSnapshot(snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn.Tag = "somebody_else"
+	if _, _, err := RunFromSnapshot(b, cfg, core.EncodeSnapshot(sn)); err == nil ||
+		!strings.Contains(err.Error(), "somebody_else") {
+		t.Errorf("tag mismatch not rejected: %v", err)
+	}
+
+	// Non-interval option mismatch surfaces the typed sentinel.
+	bad := cfg
+	bad.Heap = 8 << 20
+	if _, _, err := RunFromSnapshot(b, bad, snapshot); !errors.Is(err, core.ErrSnapshotMismatch) {
+		t.Errorf("option mismatch err = %v, want ErrSnapshotMismatch", err)
+	}
+}
+
+// TestEngineRunFrom runs a warm sweep on the engine and checks the
+// futures resolve in configuration order with the exact point equal to
+// its cold run.
+func TestEngineRunFrom(t *testing.T) {
+	b, _ := Get("_unit_tiny")
+	cfg := RunConfig{Monitoring: true, Interval: 1000, Seed: 3}
+
+	cold, _, err := Run(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot, err := RunPrefix(b, cfg, cold.Cycles/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	div := cfg
+	div.Interval = 2000
+	e := NewEngine(2)
+	handles := e.RunFrom(b, snapshot, cfg, div)
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := handles[0].Result().Cycles; got != cold.Cycles {
+		t.Errorf("exact warm point cycles = %d, cold = %d", got, cold.Cycles)
+	}
+	if handles[1].Result().Config.Interval != 2000 {
+		t.Errorf("second future is not the divergent config")
+	}
+	if handles[1].Result().Cycles == 0 {
+		t.Error("divergent point produced no cycles")
+	}
+}
+
+// TestRunPrefixTooLate pins the error when the workload finishes
+// before the requested pause cycle.
+func TestRunPrefixTooLate(t *testing.T) {
+	b, _ := Get("_unit_tiny")
+	cold, _, err := Run(b, RunConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunPrefix(b, RunConfig{Seed: 3}, cold.Cycles*10); err == nil {
+		t.Error("prefix beyond program end did not fail")
+	}
+}

@@ -96,8 +96,12 @@ func (o Options) Canonical() Options {
 // deterministically (funcs, channels, interfaces) panic, forcing a
 // conscious decision instead of a silently unstable key.
 func (o Options) CanonicalString() string {
+	return canonicalString(o.Canonical())
+}
+
+// canonicalString serializes an already-canonicalized Options value.
+func canonicalString(c Options) string {
 	var b strings.Builder
-	c := o.Canonical()
 	v := reflect.ValueOf(c)
 	t := v.Type()
 	b.WriteString("core.Options{")
@@ -116,6 +120,39 @@ func (o Options) CanonicalString() string {
 // content address of the run's configuration.
 func (o Options) Fingerprint() string {
 	sum := sha256.Sum256([]byte(o.CanonicalString()))
+	return hex.EncodeToString(sum[:])
+}
+
+// prefixCanonical is the canonical form with the hardware sampling
+// interval normalized away: SamplingInterval zeroed and the derived
+// monitor Auto flag pinned false. Two monitoring configurations with
+// equal prefix forms run the same simulation except for when samples
+// are taken — the relationship the snapshot prefix cache exploits.
+func (o Options) prefixCanonical() Options {
+	c := o.Canonical()
+	if c.Monitoring {
+		c.SamplingInterval = 0
+		mcfg := *c.MonitorConfig
+		mcfg.Auto = false
+		c.MonitorConfig = &mcfg
+	}
+	return c
+}
+
+// PrefixCanonicalString serializes the prefix-canonical form (see
+// prefixCanonical).
+func (o Options) PrefixCanonicalString() string {
+	return canonicalString(o.prefixCanonical())
+}
+
+// PrefixFingerprint returns the SHA-256 hex digest of
+// PrefixCanonicalString. A snapshot whose PrefixFingerprint matches a
+// system's — while the exact Fingerprints differ — may be restored
+// divergently: the shared warm prefix is reused and the system's own
+// sampling interval is applied from the restore point on (see
+// System.Restore).
+func (o Options) PrefixFingerprint() string {
+	sum := sha256.Sum256([]byte(o.PrefixCanonicalString()))
 	return hex.EncodeToString(sum[:])
 }
 

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"hpmvm/internal/hw/cache"
+)
+
+// FuzzCanonical fuzzes the cache-key contract over the Options space:
+// Canonical must be idempotent (canonicalization is a normal form) and
+// Fingerprint/PrefixFingerprint must be stable under it — the
+// properties the serve result cache and the snapshot restore
+// validation both rest on. Runs over its seed corpus as a plain test
+// in CI; `go test -fuzz=FuzzCanonical ./internal/core` explores
+// further.
+func FuzzCanonical(f *testing.F) {
+	f.Add(uint8(0), uint64(0), false, uint64(0), uint8(0), false, false, int64(0), "", false, 0)
+	f.Add(uint8(1), uint64(12<<20), true, uint64(1000), uint8(1), false, false, int64(7), "String::value", true, 128)
+	f.Add(uint8(0), uint64(8<<20), true, uint64(0), uint8(2), true, true, int64(-3), "Node::next", false, 0)
+	f.Add(uint8(2), uint64(1), true, uint64(25_000), uint8(9), true, false, int64(1<<40), "a::b", true, -5)
+
+	f.Fuzz(func(t *testing.T, collector uint8, heap uint64, monitoring bool,
+		interval uint64, event uint8, coalloc, adaptive bool, seed int64,
+		track string, observe bool, traceCap int) {
+		o := Options{
+			Collector:        CollectorKind(collector % 2),
+			HeapLimit:        heap,
+			Monitoring:       monitoring,
+			SamplingInterval: interval,
+			Event:            cache.EventKind(event % 3),
+			Coalloc:          coalloc,
+			Adaptive:         adaptive,
+			Seed:             seed,
+			Observe:          observe,
+			TraceCapacity:    traceCap,
+		}
+		if track != "" {
+			o.TrackFields = []string{track}
+		}
+
+		// Canonicalization is idempotent: a canonical form is its own
+		// normal form.
+		c := o.Canonical()
+		if cc := c.Canonical(); !reflect.DeepEqual(cc, c) {
+			t.Fatalf("Canonical not idempotent:\n once  %+v\n twice %+v", c, cc)
+		}
+
+		// Fingerprints are stable across canonicalization and repeated
+		// computation, and are well-formed content addresses.
+		fp := o.Fingerprint()
+		if fp != o.Fingerprint() || fp != c.Fingerprint() {
+			t.Fatalf("Fingerprint unstable: %s vs %s vs %s", fp, o.Fingerprint(), c.Fingerprint())
+		}
+		if len(fp) != 64 {
+			t.Fatalf("Fingerprint %q is not a sha256 hex digest", fp)
+		}
+		pfp := o.PrefixFingerprint()
+		if pfp != c.PrefixFingerprint() {
+			t.Fatalf("PrefixFingerprint unstable under Canonical: %s vs %s", pfp, c.PrefixFingerprint())
+		}
+
+		// The prefix relation: options differing only in the sampling
+		// interval share a prefix fingerprint when monitoring is on —
+		// exactly the divergent-restore eligibility rule.
+		div := o
+		div.SamplingInterval = interval + 1
+		if monitoring {
+			if div.PrefixFingerprint() != pfp {
+				t.Fatalf("interval change perturbed PrefixFingerprint")
+			}
+			if div.Fingerprint() == fp {
+				t.Fatalf("interval change did not perturb exact Fingerprint")
+			}
+		} else if div.Fingerprint() != fp {
+			// Without monitoring the interval is gated off entirely.
+			t.Fatalf("gated-off interval perturbed Fingerprint")
+		}
+
+		// Passive observer knobs never reach the key.
+		passive := o
+		passive.Observe = !o.Observe
+		passive.TraceCapacity = o.TraceCapacity + 1
+		if passive.Fingerprint() != fp {
+			t.Fatalf("passive obs fields perturbed Fingerprint")
+		}
+	})
+}

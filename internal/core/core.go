@@ -126,8 +126,38 @@ type System struct {
 	// Obs is the observability layer, non-nil iff Options.Observe.
 	Obs *obs.Observer
 
-	rng *rand.Rand
+	rng    *rand.Rand
+	rngSrc *countedSource
+
+	// Lifecycle flags backing the Snapshot/Restore contract (see
+	// snapshot.go): Restore requires a booted system that has not yet
+	// run, and Resume must reattach tickers exactly once.
+	booted   bool
+	ran      bool
+	attached bool
 }
+
+// countedSource wraps the deterministic PRNG source and counts draws,
+// so a snapshot can record the stream position and a restore can
+// replay the source to it. Int63 and Uint64 each advance the
+// underlying source by exactly one step, so the count alone pins the
+// position regardless of which method consumers called.
+type countedSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (c *countedSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countedSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countedSource) Seed(seed int64) { c.src.Seed(seed) }
 
 // userFilter gates hardware events on CPU privilege mode so that only
 // application activity is sampled (§5.3: VM-internal events excluded).
@@ -174,7 +204,8 @@ func NewSystemOpts(u *classfile.Universe, opts Options) (*System, error) {
 	}
 	opts = opts.withDefaults()
 	s := &System{Opts: opts}
-	s.rng = rand.New(rand.NewSource(opts.Seed))
+	s.rngSrc = &countedSource{src: rand.NewSource(opts.Seed).(rand.Source64)}
+	s.rng = rand.New(s.rngSrc)
 	s.VM = runtime.New(u, opts.Cache)
 
 	// Sampling hardware and kernel module exist unconditionally (the
@@ -279,6 +310,8 @@ func (s *System) Boot(plan runtime.CompilePlan, materialize func(vm *runtime.VM)
 	if err := s.VM.CompileAll(plan); err != nil {
 		return err
 	}
+	s.VM.MarkBootComplete()
+	s.booted = true
 	return nil
 }
 
@@ -298,6 +331,24 @@ func (s *System) Run(entry *classfile.Method, maxCycles uint64) error {
 // Run. Statistics are reset at the start of the run so boot work is
 // excluded, matching the paper's measurement methodology.
 func (s *System) RunContext(ctx context.Context, entry *classfile.Method, maxCycles uint64) error {
+	_, err := s.runFrom(ctx, entry, maxCycles, 0)
+	return err
+}
+
+// RunToCycle executes like RunContext but pauses — returning
+// (true, nil) — once the simulated cycle counter reaches pauseAt (0
+// means no pause point). A paused system sits at a VM scheduling point
+// with its monitoring session still live; it is the state Snapshot is
+// designed to capture. Resume with ResumeContext. A run paused and
+// resumed is cycle- and byte-identical to one that never paused
+// (pinned by the snapshot determinism tests). If the program finishes
+// before pauseAt, RunToCycle returns (false, err) like RunContext —
+// including the end-of-run monitor flush.
+func (s *System) RunToCycle(ctx context.Context, entry *classfile.Method, maxCycles, pauseAt uint64) (paused bool, err error) {
+	return s.runFrom(ctx, entry, maxCycles, pauseAt)
+}
+
+func (s *System) runFrom(ctx context.Context, entry *classfile.Method, maxCycles, pauseAt uint64) (bool, error) {
 	if done := ctx.Done(); done != nil {
 		s.VM.SetCancel(func() error {
 			select {
@@ -312,6 +363,7 @@ func (s *System) RunContext(ctx context.Context, entry *classfile.Method, maxCyc
 	// Cold caches and clean counters at program start.
 	s.VM.Hier.Flush()
 	s.VM.Hier.ResetStats()
+	s.ran = true
 
 	if s.Opts.Monitoring {
 		pcfg := pebs.DefaultConfig()
@@ -326,7 +378,7 @@ func (s *System) RunContext(ctx context.Context, entry *classfile.Method, maxCyc
 			pcfg.Interval = 10_000
 		}
 		if err := s.Module.ConfigureSession(pcfg); err != nil {
-			return fmt.Errorf("core: %w", err)
+			return false, fmt.Errorf("core: %w", err)
 		}
 		s.Module.Start()
 		s.Monitor.Attach()
@@ -334,10 +386,55 @@ func (s *System) RunContext(ctx context.Context, entry *classfile.Method, maxCyc
 	if s.AOS != nil {
 		s.AOS.Attach()
 	}
+	s.attached = true
 
 	if err := s.VM.Start(entry); err != nil {
-		return err
+		return false, err
 	}
+	paused, err := s.VM.RunUntil(maxCycles, pauseAt)
+	if paused {
+		// Mid-run pause: the session stays live so a snapshot captures
+		// it; no stop, no flush.
+		return true, nil
+	}
+	if s.Opts.Monitoring {
+		s.Module.Stop()
+		s.Monitor.Flush()
+	}
+	return false, err
+}
+
+// ResumeContext continues execution on a system that was paused by
+// RunToCycle or rebuilt by RestoreSystem/System.Restore. Unlike
+// RunContext it does not flush caches, reset statistics, reconfigure
+// the sampling session, or restart the program — all of that state is
+// exactly where the pause (or the restored snapshot) left it. On a
+// restored system the monitor and AOS tickers are reattached without
+// touching their restored deadlines. The run then proceeds to
+// completion (or the cycle budget) with the usual end-of-run monitor
+// flush.
+func (s *System) ResumeContext(ctx context.Context, maxCycles uint64) error {
+	if done := ctx.Done(); done != nil {
+		s.VM.SetCancel(func() error {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+				return nil
+			}
+		})
+		defer s.VM.SetCancel(nil)
+	}
+	if !s.attached {
+		if s.Monitor != nil {
+			s.Monitor.Reattach()
+		}
+		if s.AOS != nil {
+			s.AOS.Reattach()
+		}
+		s.attached = true
+	}
+	s.ran = true
 	err := s.VM.Run(maxCycles)
 	if s.Opts.Monitoring {
 		s.Module.Stop()

@@ -1,0 +1,145 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"hpmvm/internal/snap"
+)
+
+// Snapshot/Restore implement snap.Checkpointable for the memory
+// hierarchy. Mutable state is the three tag arrays (including LRU
+// stamps and dirty bits), the stream prefetcher's trained streams, the
+// window counters and the prefetched-line attribution set. Geometry is
+// configuration: Restore requires the hierarchy to have been built from
+// the same Config and rejects a tag-array length mismatch.
+
+const (
+	snapComponent = "hw/cache"
+	snapVersion   = 1
+)
+
+func (sa *setAssoc) encode(w *snap.Writer) {
+	w.U64(uint64(len(sa.lines)))
+	for i := range sa.lines {
+		l := &sa.lines[i]
+		w.U64(l.tag)
+		w.Bool(l.valid)
+		w.Bool(l.dirty)
+		w.U64(l.lru)
+	}
+	w.U64(sa.stamp)
+	w.U64(sa.accesses)
+	w.U64(sa.misses)
+}
+
+func (sa *setAssoc) decode(r *snap.Reader, name string) error {
+	n := r.U64()
+	if r.Err() == nil && n != uint64(len(sa.lines)) {
+		return fmt.Errorf("cache: %w: %s has %d lines, snapshot has %d (geometry mismatch)",
+			snap.ErrDecode, name, len(sa.lines), n)
+	}
+	for i := range sa.lines {
+		sa.lines[i].tag = r.U64()
+		sa.lines[i].valid = r.Bool()
+		sa.lines[i].dirty = r.Bool()
+		sa.lines[i].lru = r.U64()
+	}
+	sa.stamp = r.U64()
+	sa.accesses = r.U64()
+	sa.misses = r.U64()
+	return r.Err()
+}
+
+// Snapshot serializes the hierarchy's hardware and counter state.
+func (h *Hierarchy) Snapshot() snap.ComponentState {
+	var w snap.Writer
+	h.l1.encode(&w)
+	h.l2.encode(&w)
+	h.tlb.encode(&w)
+	w.U64(uint64(len(h.streams)))
+	for i := range h.streams {
+		s := &h.streams[i]
+		w.U64(s.lastLine)
+		w.I64(s.dir)
+		w.I64(int64(s.conf))
+		w.Bool(s.valid)
+		w.U64(s.lru)
+	}
+	w.U64(h.stamp)
+	st := h.stats
+	w.U64(st.Accesses)
+	w.U64(st.Loads)
+	w.U64(st.Stores)
+	w.U64(st.L1Misses)
+	w.U64(st.L2Misses)
+	w.U64(st.TLBMisses)
+	w.U64(st.Writebacks)
+	w.U64(st.Prefetches)
+	w.U64(st.PrefetchHits)
+	w.U64(st.Cycles)
+	keys := make([]uint64, 0, len(h.prefetched))
+	for k := range h.prefetched {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.U64(uint64(len(keys)))
+	for _, k := range keys {
+		w.U64(k)
+	}
+	return snap.ComponentState{Component: snapComponent, Version: snapVersion, Data: w.Bytes()}
+}
+
+// Restore overwrites the hierarchy's hardware and counter state. The
+// listener and observer wiring is untouched.
+func (h *Hierarchy) Restore(st snap.ComponentState) error {
+	if err := snap.Check(st, snapComponent, snapVersion); err != nil {
+		return err
+	}
+	r := snap.NewReader(st.Data)
+	if err := h.l1.decode(r, "l1"); err != nil {
+		return err
+	}
+	if err := h.l2.decode(r, "l2"); err != nil {
+		return err
+	}
+	if err := h.tlb.decode(r, "tlb"); err != nil {
+		return err
+	}
+	nStreams := r.U64()
+	if r.Err() == nil && nStreams != uint64(len(h.streams)) {
+		return fmt.Errorf("cache: %w: prefetcher has %d streams, snapshot has %d (geometry mismatch)",
+			snap.ErrDecode, len(h.streams), nStreams)
+	}
+	for i := range h.streams {
+		s := &h.streams[i]
+		s.lastLine = r.U64()
+		s.dir = r.I64()
+		s.conf = int(r.I64())
+		s.valid = r.Bool()
+		s.lru = r.U64()
+	}
+	h.stamp = r.U64()
+	var stats Stats
+	stats.Accesses = r.U64()
+	stats.Loads = r.U64()
+	stats.Stores = r.U64()
+	stats.L1Misses = r.U64()
+	stats.L2Misses = r.U64()
+	stats.TLBMisses = r.U64()
+	stats.Writebacks = r.U64()
+	stats.Prefetches = r.U64()
+	stats.PrefetchHits = r.U64()
+	stats.Cycles = r.U64()
+	nPref := r.U64()
+	pref := make(map[uint64]bool, nPref)
+	for i := uint64(0); i < nPref && r.Err() == nil; i++ {
+		pref[r.U64()] = true
+	}
+	if err := r.Close(); err != nil {
+		return err
+	}
+	h.stats = stats
+	h.prefetched = pref
+	return nil
+}

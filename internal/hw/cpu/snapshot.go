@@ -1,0 +1,78 @@
+package cpu
+
+import (
+	"fmt"
+
+	"hpmvm/internal/snap"
+)
+
+// Snapshot/Restore implement snap.Checkpointable for the core. Mutable
+// state is the architectural registers, the cycle/instret counters and
+// the halt/privilege flags. The code space is deliberately *not*
+// serialized: compiled code is rebuilt deterministically by booting a
+// fresh system from the same Options (plus replaying the recompilation
+// log, see vm/runtime), so the snapshot only records the installed
+// instruction count and Restore verifies it as a consistency check.
+
+const (
+	snapComponent = "hw/cpu"
+	snapVersion   = 1
+)
+
+// Snapshot serializes the architectural state.
+func (c *CPU) Snapshot() snap.ComponentState {
+	var w snap.Writer
+	for i := range c.Regs {
+		w.U64(c.Regs[i])
+	}
+	w.U64(c.SP)
+	w.U64(c.FP)
+	w.U64(c.PC)
+	w.U64(c.cycles)
+	w.U64(c.instret)
+	w.Bool(c.halted)
+	w.Bool(c.usermode)
+	w.I64(c.exitStatus)
+	w.U64(uint64(len(c.code)))
+	return snap.ComponentState{Component: snapComponent, Version: snapVersion, Data: w.Bytes()}
+}
+
+// Restore overwrites the architectural state. The CPU must already hold
+// the same installed code as the snapshot's origin (same boot + same
+// recompilations); a code-length mismatch is rejected.
+func (c *CPU) Restore(st snap.ComponentState) error {
+	if err := snap.Check(st, snapComponent, snapVersion); err != nil {
+		return err
+	}
+	r := snap.NewReader(st.Data)
+	var regs [NumRegs]uint64
+	for i := range regs {
+		regs[i] = r.U64()
+	}
+	sp := r.U64()
+	fp := r.U64()
+	pc := r.U64()
+	cycles := r.U64()
+	instret := r.U64()
+	halted := r.Bool()
+	usermode := r.Bool()
+	exitStatus := r.I64()
+	codeLen := r.U64()
+	if err := r.Close(); err != nil {
+		return err
+	}
+	if codeLen != uint64(len(c.code)) {
+		return fmt.Errorf("cpu: %w: snapshot has %d installed instructions, cpu has %d (boot/recompile divergence)",
+			snap.ErrDecode, codeLen, len(c.code))
+	}
+	c.Regs = regs
+	c.SP = sp
+	c.FP = fp
+	c.PC = pc
+	c.cycles = cycles
+	c.instret = instret
+	c.halted = halted
+	c.usermode = usermode
+	c.exitStatus = exitStatus
+	return nil
+}

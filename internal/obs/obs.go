@@ -237,9 +237,11 @@ type Metrics struct {
 	Trace    TraceStats     `json:"trace"`
 }
 
-// Snapshot resolves every registered counter (owned values loaded,
-// sampled closures invoked) and phase into a Metrics value.
-func (o *Observer) Snapshot() Metrics {
+// Metrics resolves every registered counter (owned values loaded,
+// sampled closures invoked) and phase into a Metrics value. (The name
+// Snapshot belongs to the snap.Checkpointable implementation in
+// snapshot.go, which serializes the observer's state instead.)
+func (o *Observer) Metrics() Metrics {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	m := Metrics{

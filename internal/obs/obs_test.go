@@ -83,7 +83,7 @@ func TestPhases(t *testing.T) {
 	o.PhaseBegin("gc.minor", 200)
 	o.PhaseEnd("gc.minor", 230)
 	o.PhaseEnd("gc.major", 999) // end without begin: ignored
-	m := o.Snapshot()
+	m := o.Metrics()
 	if len(m.Phases) != 2 {
 		t.Fatalf("phase count = %d, want 2", len(m.Phases))
 	}
@@ -101,7 +101,7 @@ func TestSnapshotDeterministicOrder(t *testing.T) {
 	o.Counter("z.last")
 	o.RegisterSampled("a.first", func() uint64 { return 1 })
 	o.Counter("m.mid")
-	m := o.Snapshot()
+	m := o.Metrics()
 	var names []string
 	for _, c := range m.Counters {
 		names = append(names, c.Name)
@@ -119,7 +119,7 @@ func TestMetricsJSONRoundTrip(t *testing.T) {
 	o.PhaseBegin("gc.minor", 10)
 	o.PhaseEnd("gc.minor", 40)
 	o.Emit(EvCacheWindow, 40, 1000, 12, 9999)
-	want := o.Snapshot()
+	want := o.Metrics()
 
 	var buf bytes.Buffer
 	if err := want.WriteJSON(&buf); err != nil {
@@ -140,7 +140,7 @@ func TestMetricsJSONSchema(t *testing.T) {
 	o.PhaseBegin("gc.minor", 1)
 	o.PhaseEnd("gc.minor", 2)
 	var buf bytes.Buffer
-	if err := o.Snapshot().WriteJSON(&buf); err != nil {
+	if err := o.Metrics().WriteJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
 	// The field names are the export schema downstream tooling keys on.
@@ -200,6 +200,46 @@ func TestTraceCSVRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSnapshotEventsExportRoundTrip pins the export contract of the
+// snapshot lifecycle events: stable kind names on the wire and
+// loss-free JSON and CSV round trips, so downstream tooling can key on
+// when checkpoints were taken and restores retargeted.
+func TestSnapshotEventsExportRoundTrip(t *testing.T) {
+	o := New(8)
+	o.Emit(EvSnapshotTaken, 1_500_000, 1_500_000, 12, 0)
+	o.Emit(EvSnapshotRestored, 1_500_000, 1_500_000, 1000, 2000)
+	want := o.TraceDump()
+
+	var buf bytes.Buffer
+	if err := want.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{`"kind": "snapshot_taken"`, `"kind": "snapshot_restored"`} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("trace JSON missing stable kind name %s:\n%s", name, buf.String())
+		}
+	}
+	got, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("snapshot events JSON round trip drifted:\n got  %+v\n want %+v", got, want)
+	}
+
+	var csv bytes.Buffer
+	if err := want.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ParseTraceCSV(&csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(events, want.Events) {
+		t.Fatalf("snapshot events CSV round trip drifted:\n got  %+v\n want %+v", events, want.Events)
+	}
+}
+
 func TestKindNamesComplete(t *testing.T) {
 	for k := EventKind(0); k < numEventKinds; k++ {
 		name := k.String()
@@ -228,7 +268,7 @@ func TestConcurrentUse(t *testing.T) {
 				c.Inc()
 				o.Emit(EvMonitorPoll, uint64(i), uint64(g), 0, 0)
 				if i%100 == 0 {
-					o.Snapshot()
+					o.Metrics()
 					o.PhaseBegin("p", uint64(i))
 					o.PhaseEnd("p", uint64(i+1))
 				}

@@ -47,6 +47,19 @@ const (
 	// window's demand accesses, Arg1 its L1 misses, Arg2 the memory
 	// cycles charged in the window.
 	EvCacheWindow
+	// EvSnapshotTaken records a whole-system checkpoint, emitted into
+	// the origin's trace after the state was captured (so the snapshot
+	// itself never contains it and exact restores stay byte-identical
+	// to uninterrupted runs). Arg0 is the snapshot cycle, Arg1 the
+	// number of component states captured.
+	EvSnapshotTaken
+	// EvSnapshotRestored records a divergent (prefix) restore: the
+	// snapshot's exact fingerprint did not match but its prefix
+	// fingerprint did, and the system retargeted its own sampling
+	// interval. Arg0 is the snapshot cycle, Arg1 the snapshot's
+	// sampling interval, Arg2 the restored system's. Exact restores
+	// emit nothing.
+	EvSnapshotRestored
 	numEventKinds
 )
 
@@ -63,15 +76,17 @@ const (
 )
 
 var kindNames = [numEventKinds]string{
-	EvGCStart:         "gc_start",
-	EvGCEnd:           "gc_end",
-	EvPEBSInterrupt:   "pebs_interrupt",
-	EvPerfmonRead:     "perfmon_read",
-	EvMonitorPoll:     "monitor_poll",
-	EvPhaseChange:     "phase_change",
-	EvCoallocDecision: "coalloc_decision",
-	EvRecompile:       "recompile",
-	EvCacheWindow:     "cache_window",
+	EvGCStart:          "gc_start",
+	EvGCEnd:            "gc_end",
+	EvPEBSInterrupt:    "pebs_interrupt",
+	EvPerfmonRead:      "perfmon_read",
+	EvMonitorPoll:      "monitor_poll",
+	EvPhaseChange:      "phase_change",
+	EvCoallocDecision:  "coalloc_decision",
+	EvRecompile:        "recompile",
+	EvCacheWindow:      "cache_window",
+	EvSnapshotTaken:    "snapshot_taken",
+	EvSnapshotRestored: "snapshot_restored",
 }
 
 // String returns the stable export name of the kind.

@@ -58,6 +58,10 @@ type Config struct {
 	QueueDepth int
 	// CacheEntries bounds the result cache (0 selects 256).
 	CacheEntries int
+	// SnapshotEntries bounds the warm-start snapshot-prefix cache.
+	// Snapshots are whole-machine images (megabytes each), so the
+	// default is small (0 selects 8).
+	SnapshotEntries int
 	// Timeout caps one run's wall clock; the run is cancelled at its
 	// next safepoint when exceeded (0 = no cap).
 	Timeout time.Duration
@@ -102,9 +106,13 @@ type Server struct {
 	cExecuted  *obs.Counter
 	cFailed    *obs.Counter
 	cCancelled *obs.Counter
+	cSnapHits  *obs.Counter
+	cSnapStore *obs.Counter
+	cSnapEvict *obs.Counter
 
 	mu          sync.Mutex
 	cache       *resultCache
+	snapshots   *resultCache
 	inflight    map[string]*call
 	outstanding int
 	draining    bool
@@ -126,11 +134,15 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 256
 	}
+	if cfg.SnapshotEntries <= 0 {
+		cfg.SnapshotEntries = 8
+	}
 	s := &Server{
 		cfg:         cfg,
 		engine:      bench.NewEngine(cfg.Jobs),
 		obs:         obs.New(0),
 		cache:       newResultCache(cfg.CacheEntries),
+		snapshots:   newResultCache(cfg.SnapshotEntries),
 		inflight:    make(map[string]*call),
 		perWorkload: make(map[string]*wlStat),
 		meta:        make(map[string]workloadMeta),
@@ -145,6 +157,9 @@ func New(cfg Config) *Server {
 	s.cExecuted = s.obs.Counter("serve.runs.executed")
 	s.cFailed = s.obs.Counter("serve.runs.failed")
 	s.cCancelled = s.obs.Counter("serve.runs.cancelled")
+	s.cSnapHits = s.obs.Counter("serve.snapshot.hits")
+	s.cSnapStore = s.obs.Counter("serve.snapshot.stores")
+	s.cSnapEvict = s.obs.Counter("serve.snapshot.evictions")
 	s.obs.RegisterSampled("serve.queue.outstanding", func() uint64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -214,6 +229,15 @@ type Request struct {
 	// Observe attaches the obs layer; the response then carries the
 	// final counter/phase snapshot.
 	Observe bool `json:"observe,omitempty"`
+	// WarmStartCycles, when non-zero, serves the run via the
+	// snapshot-prefix cache: the first WarmStartCycles simulated cycles
+	// execute once per distinct configuration and are checkpointed;
+	// later requests sharing the prefix restore the snapshot and
+	// simulate only the tail. An exact restore is byte-identical to the
+	// cold run, so the response body is unchanged — only latency and
+	// the X-Hpmvmd-Snapshot header differ. Must be below max_cycles
+	// when a cycle budget is set.
+	WarmStartCycles uint64 `json:"warm_start_cycles,omitempty"`
 }
 
 // RunResponse is the JSON body of a successful /run. Identical
@@ -256,6 +280,11 @@ type resolved struct {
 	cfg  bench.RunConfig
 	opts core.Options
 	key  string
+
+	// warmCycles and snapKey are set iff the request asked for a
+	// warm start; snapKey addresses the shared prefix snapshot.
+	warmCycles uint64
+	snapKey    string
 }
 
 // resolve canonicalizes a request: workload lookup, enum parsing,
@@ -304,9 +333,17 @@ func (s *Server) resolve(req Request) (resolved, error) {
 	if err := opts.Validate(); err != nil {
 		return r, err
 	}
+	if req.WarmStartCycles > 0 {
+		if cfg.MaxCycles != 0 && req.WarmStartCycles >= cfg.MaxCycles {
+			return r, fmt.Errorf("serve: %w: warm_start_cycles (%d) must be below max_cycles (%d)",
+				core.ErrBadOptions, req.WarmStartCycles, cfg.MaxCycles)
+		}
+		r.warmCycles = req.WarmStartCycles
+		r.snapKey = snapshotKey(meta.name, req.WarmStartCycles, cfg.Observe, opts)
+	}
 	r.cfg = cfg
 	r.opts = opts
-	r.key = requestKey(meta.name, cfg.MaxCycles, cfg.Observe, opts)
+	r.key = requestKey(meta.name, cfg.MaxCycles, req.WarmStartCycles, cfg.Observe, opts)
 	return r, nil
 }
 
@@ -314,10 +351,27 @@ func (s *Server) resolve(req Request) (resolved, error) {
 // the request-level knobs that shape the response but live outside
 // core.Options (cycle budget, observe), and the canonical option
 // serialization. Everything that can change a single response byte is
-// in here; nothing else is.
-func requestKey(workload string, maxCycles uint64, observe bool, opts core.Options) string {
-	payload := fmt.Sprintf("workload=%s;max_cycles=%d;observe=%t;%s",
-		workload, maxCycles, observe, opts.CanonicalString())
+// in here. warm_start_cycles cannot change a byte (an exact restore is
+// byte-identical to the cold run) but is keyed anyway, so warm
+// requests always exercise — and therefore always report — the
+// snapshot path instead of aliasing a cold run's cached result.
+func requestKey(workload string, maxCycles, warmCycles uint64, observe bool, opts core.Options) string {
+	payload := fmt.Sprintf("workload=%s;max_cycles=%d;warm_start_cycles=%d;observe=%t;%s",
+		workload, maxCycles, warmCycles, observe, opts.CanonicalString())
+	sum := sha256.Sum256([]byte(payload))
+	return hex.EncodeToString(sum[:])
+}
+
+// snapshotKey is the content address of a warm-start prefix snapshot:
+// the workload, the pause cycle, the observer switch (it changes the
+// snapshot's component set) and the exact canonical options. Requests
+// that differ only in max_cycles share the snapshot — that is the
+// serve-level reuse axis; sampling-interval divergence is served at
+// the bench layer (Engine.RunFrom), not through this cache, so every
+// stored prefix replays byte-identically.
+func snapshotKey(workload string, warmCycles uint64, observe bool, opts core.Options) string {
+	payload := fmt.Sprintf("snapshot;workload=%s;warm_start_cycles=%d;observe=%t;%s",
+		workload, warmCycles, observe, opts.CanonicalString())
 	sum := sha256.Sum256([]byte(payload))
 	return hex.EncodeToString(sum[:])
 }
@@ -343,8 +397,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// snapDisp is written only when this request leads the execution
+	// (the closure runs synchronously in runCached's leader path);
+	// result-cache hits and shared waiters never touch the snapshot
+	// layer and carry no snapshot header.
+	var snapDisp string
 	body, disposition, err := s.runCached(r.Context(), res.key, func(ctx context.Context) ([]byte, error) {
-		return s.execute(ctx, res)
+		b, sd, err := s.execute(ctx, res)
+		snapDisp = sd
+		return b, err
 	})
 	if err != nil {
 		if isCancellation(err) {
@@ -356,22 +417,27 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Hpmvmd-Cache", disposition)
 	w.Header().Set("X-Hpmvmd-Key", res.key)
+	if snapDisp != "" {
+		w.Header().Set("X-Hpmvmd-Snapshot", snapDisp)
+	}
 	w.Write(body)
 }
 
 // execute admits one run through the bounded queue, schedules it on
 // the engine with the configured timeout, and marshals the response.
-func (s *Server) execute(ctx context.Context, res resolved) ([]byte, error) {
+// The second return is the snapshot disposition ("hit" or "store")
+// for warm-started requests, "" otherwise.
+func (s *Server) execute(ctx context.Context, res resolved) ([]byte, string, error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		return nil, ErrDraining
+		return nil, "", ErrDraining
 	}
 	capacity := s.cfg.Jobs + s.cfg.QueueDepth
 	if s.outstanding >= capacity {
 		s.mu.Unlock()
 		s.cRejected.Inc()
-		return nil, fmt.Errorf("%w: %d runs outstanding (workers %d + queue %d)",
+		return nil, "", fmt.Errorf("%w: %d runs outstanding (workers %d + queue %d)",
 			ErrQueueFull, capacity, s.cfg.Jobs, s.cfg.QueueDepth)
 	}
 	s.outstanding++
@@ -390,16 +456,93 @@ func (s *Server) execute(ctx context.Context, res resolved) ([]byte, error) {
 	}
 
 	start := time.Now()
-	result, err := s.runner(runCtx, res.meta.builder, res.cfg, res.meta.name)
+	var (
+		body     []byte
+		snapDisp string
+		err      error
+	)
+	if res.warmCycles > 0 {
+		body, snapDisp, err = s.executeWarm(runCtx, res)
+	} else {
+		var result *bench.Result
+		result, err = s.runner(runCtx, res.meta.builder, res.cfg, res.meta.name)
+		if err == nil {
+			body, err = marshalResponse(res, result)
+		}
+	}
 	s.recordLatency(res.meta.name, time.Since(start), err)
 	if err != nil {
 		if !isCancellation(err) {
 			s.cFailed.Inc()
 		}
-		return nil, err
+		return nil, snapDisp, err
 	}
 	s.cExecuted.Inc()
-	return marshalResponse(res, result)
+	return body, snapDisp, nil
+}
+
+// executeWarm serves a warm-started run: obtain the prefix snapshot
+// (cached or freshly computed), restore it into a fresh system and
+// simulate only the tail. Both the prefix and the tail run on the
+// engine, so warm requests respect the same worker-pool width as cold
+// ones.
+func (s *Server) executeWarm(ctx context.Context, res resolved) ([]byte, string, error) {
+	snapshot, disp, err := s.snapshotFor(ctx, res)
+	if err != nil {
+		return nil, "", err
+	}
+	var result *bench.Result
+	wait := s.engine.SubmitIsolated(res.meta.name+"/warm", func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		r, _, err := bench.RunFromSnapshotContext(ctx, res.meta.builder, res.cfg, snapshot)
+		if err != nil {
+			return err
+		}
+		result = r
+		return nil
+	})
+	if err := wait(); err != nil {
+		return nil, disp, err
+	}
+	body, err := marshalResponse(res, result)
+	return body, disp, err
+}
+
+// snapshotFor returns the encoded prefix snapshot for res: the cached
+// one when present ("hit"), else it simulates the prefix, stores the
+// snapshot and returns it ("store"). Either way the caller restores
+// the snapshot into a fresh system for the response, so hit and store
+// produce byte-identical bodies.
+func (s *Server) snapshotFor(ctx context.Context, res resolved) ([]byte, string, error) {
+	s.mu.Lock()
+	snapshot, ok := s.snapshots.get(res.snapKey)
+	s.mu.Unlock()
+	if ok {
+		s.cSnapHits.Inc()
+		return snapshot, "hit", nil
+	}
+	var enc []byte
+	wait := s.engine.SubmitIsolated(res.meta.name+"/prefix", func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var err error
+		enc, err = bench.RunPrefixContext(ctx, res.meta.builder, res.cfg, res.warmCycles)
+		return err
+	})
+	if err := wait(); err != nil {
+		return nil, "", err
+	}
+	s.mu.Lock()
+	evicted := s.snapshots.add(res.snapKey, enc)
+	s.mu.Unlock()
+	s.cSnapStore.Inc()
+	if evicted > 0 {
+		s.cSnapEvict.Add(uint64(evicted))
+	}
+	return enc, "store", nil
 }
 
 // engineRunner is the production runner: one isolated, cancellable
@@ -510,13 +653,21 @@ type Statsz struct {
 		HitRate   float64 `json:"hit_rate"`
 	} `json:"cache"`
 
+	Snapshots struct {
+		Entries   int    `json:"entries"`
+		Capacity  int    `json:"capacity"`
+		Hits      uint64 `json:"hits"`
+		Stores    uint64 `json:"stores"`
+		Evictions uint64 `json:"evictions"`
+	} `json:"snapshots"`
+
 	Workloads []WorkloadLatency  `json:"workloads"`
 	Counters  []obs.CounterValue `json:"counters"`
 }
 
 // Stats snapshots the service counters (also served as /statsz).
 func (s *Server) Stats() Statsz {
-	snap := s.obs.Snapshot() // before s.mu: the sampled closure locks it
+	metrics := s.obs.Metrics() // before s.mu: the sampled closure locks it
 
 	var st Statsz
 	s.mu.Lock()
@@ -526,6 +677,8 @@ func (s *Server) Stats() Statsz {
 	st.Queue.Outstanding = s.outstanding
 	st.Cache.Entries = s.cache.len()
 	st.Cache.Capacity = s.cfg.CacheEntries
+	st.Snapshots.Entries = s.snapshots.len()
+	st.Snapshots.Capacity = s.cfg.SnapshotEntries
 	for name, w := range s.perWorkload {
 		row := WorkloadLatency{
 			Workload: name,
@@ -544,11 +697,14 @@ func (s *Server) Stats() Statsz {
 	st.Cache.Shared = s.cShared.Value()
 	st.Cache.Misses = s.cMisses.Value()
 	st.Cache.Evictions = s.cEvictions.Value()
+	st.Snapshots.Hits = s.cSnapHits.Value()
+	st.Snapshots.Stores = s.cSnapStore.Value()
+	st.Snapshots.Evictions = s.cSnapEvict.Value()
 	if served := st.Cache.Hits + st.Cache.Shared + st.Cache.Misses; served > 0 {
 		st.Cache.HitRate = float64(st.Cache.Hits+st.Cache.Shared) / float64(served)
 	}
 	sort.Slice(st.Workloads, func(i, j int) bool { return st.Workloads[i].Workload < st.Workloads[j].Workload })
-	st.Counters = snap.Counters
+	st.Counters = metrics.Counters
 	return st
 }
 

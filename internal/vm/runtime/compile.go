@@ -97,6 +97,9 @@ func (vm *VM) CompileMethod(m *classfile.Method, level int) error {
 			}
 		}
 	}
+	if vm.bootDone {
+		vm.recompileLog = append(vm.recompileLog, recompileEntry{methodID: m.ID, level: level})
+	}
 	for _, fn := range vm.onRecompile {
 		fn(m.ID)
 	}

@@ -76,6 +76,13 @@ type VM struct {
 	failure error
 	started bool
 
+	// bootDone marks the end of the boot sequence (BuildDispatch +
+	// CompileAll); compilations after this point are recorded in
+	// recompileLog so a restored system can replay them and rebuild the
+	// exact code layout of the snapshot's origin (see snapshot.go).
+	bootDone     bool
+	recompileLog []recompileEntry
+
 	// Cost model for VM services.
 	AllocTrapCycles uint64 // fixed overhead per allocation trap
 
@@ -105,6 +112,19 @@ func New(u *classfile.Universe, hierCfg cache.Config) *VM {
 	c.SetTrapHandler(vm)
 	return vm
 }
+
+// recompileEntry records one post-boot (re)compilation in program
+// order. Replaying the log against a freshly booted VM reproduces the
+// origin's code layout deterministically, so snapshots never need to
+// serialize machine code or method metadata.
+type recompileEntry struct {
+	methodID int
+	level    int
+}
+
+// MarkBootComplete ends the boot phase: subsequent CompileMethod calls
+// are appended to the recompile log. Called once, after CompileAll.
+func (vm *VM) MarkBootComplete() { vm.bootDone = true }
 
 // AddTicker registers periodic VM work.
 func (vm *VM) AddTicker(t Ticker) { vm.tickers = append(vm.tickers, t) }
@@ -183,14 +203,33 @@ func (vm *VM) SetCancel(f func() error) { vm.cancel = f }
 // limit). It returns the program's failure, if any, or the cancel
 // hook's error if the run was aborted.
 func (vm *VM) Run(maxCycles uint64) error {
+	_, err := vm.run(maxCycles, 0)
+	return err
+}
+
+// RunUntil executes like Run but additionally pauses — returning
+// (true, nil) — once the cycle counter reaches pauseAt (0 means no
+// pause point). A paused VM sits at a scheduling point: between
+// instructions, outside any trap or ticker, exactly where the
+// uninterrupted run would have checked deadlines, so execution resumed
+// with Run/RunUntil is instruction-for-instruction identical to a run
+// that never paused (pinned by the core snapshot determinism tests).
+// If the program halts before pauseAt, RunUntil returns (false, err)
+// like Run; a pauseAt at or beyond a non-zero maxCycles is
+// unreachable and yields the usual cycle-budget failure.
+func (vm *VM) RunUntil(maxCycles, pauseAt uint64) (paused bool, err error) {
+	return vm.run(maxCycles, pauseAt)
+}
+
+func (vm *VM) run(maxCycles, pauseAt uint64) (bool, error) {
 	if !vm.started {
-		return fmt.Errorf("runtime: Run before Start")
+		return false, fmt.Errorf("runtime: Run before Start")
 	}
 	c := vm.CPU
 	for !c.Halted() {
 		if vm.cancel != nil {
 			if err := vm.cancel(); err != nil {
-				return fmt.Errorf("runtime: run aborted after %d cycles: %w", c.Cycles(), err)
+				return false, fmt.Errorf("runtime: run aborted after %d cycles: %w", c.Cycles(), err)
 			}
 		}
 		// Find the earliest ticker deadline.
@@ -204,8 +243,14 @@ func (vm *VM) Run(maxCycles uint64) error {
 			vm.fail("cycle budget of %d exhausted", maxCycles)
 			break
 		}
+		if pauseAt != 0 && c.Cycles() >= pauseAt {
+			return true, nil
+		}
 		if maxCycles != 0 && next > maxCycles {
 			next = maxCycles
+		}
+		if pauseAt != 0 && next > pauseAt {
+			next = pauseAt
 		}
 		if vm.cancel != nil {
 			if q := c.Cycles() + CancelCheckCycles; q < next {
@@ -229,7 +274,7 @@ func (vm *VM) Run(maxCycles uint64) error {
 			}
 		}
 	}
-	return vm.failure
+	return false, vm.failure
 }
 
 // Cycles returns the simulated execution time so far.

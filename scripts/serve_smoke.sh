@@ -57,6 +57,48 @@ if [ "$hits" != "1" ]; then
     exit 1
 fi
 
+# Warm-start snapshot-prefix cache: the first warm request simulates
+# and stores the prefix snapshot ("store"); a second request sharing
+# the prefix but diverging in its cycle budget must reuse it ("hit").
+# Both, and the plain cold run, describe the same simulation — the
+# bodies may differ only in the request key.
+WARM='{"workload":"compress","seed":1,"monitoring":true,"interval":25000,"warm_start_cycles":2000000}'
+WARM2='{"workload":"compress","seed":1,"monitoring":true,"interval":25000,"warm_start_cycles":2000000,"max_cycles":4000000000}'
+
+echo "serve-smoke: warm-start store request"
+curl -sf -D "$TMP/h3" -X POST -d "$WARM" "http://$ADDR/run" -o "$TMP/r3"
+echo "serve-smoke: warm-start divergent request"
+curl -sf -D "$TMP/h4" -X POST -d "$WARM2" "http://$ADDR/run" -o "$TMP/r4"
+
+snap1=$(tr -d '\r' <"$TMP/h3" | awk -F': ' 'tolower($1)=="x-hpmvmd-snapshot"{print $2}')
+snap2=$(tr -d '\r' <"$TMP/h4" | awk -F': ' 'tolower($1)=="x-hpmvmd-snapshot"{print $2}')
+if [ "$snap1" != "store" ]; then
+    echo "serve-smoke: FAIL — first warm request snapshot disposition '$snap1', want store" >&2
+    exit 1
+fi
+if [ "$snap2" != "hit" ]; then
+    echo "serve-smoke: FAIL — divergent warm request snapshot disposition '$snap2', want hit" >&2
+    exit 1
+fi
+
+sed 's/"key":"[^"]*"//' <"$TMP/r1" >"$TMP/n1"
+sed 's/"key":"[^"]*"//' <"$TMP/r3" >"$TMP/n3"
+sed 's/"key":"[^"]*"//' <"$TMP/r4" >"$TMP/n4"
+if ! cmp -s "$TMP/n1" "$TMP/n3" || ! cmp -s "$TMP/n3" "$TMP/n4"; then
+    echo "serve-smoke: FAIL — warm-started responses differ from the cold run" >&2
+    exit 1
+fi
+
+stats=$(curl -sf "http://$ADDR/statsz")
+if ! echo "$stats" | grep -A1 '"name": "serve.snapshot.stores"' | grep -q '"value": 1'; then
+    echo "serve-smoke: FAIL — /statsz does not report the snapshot store" >&2
+    exit 1
+fi
+if ! echo "$stats" | grep -A1 '"name": "serve.snapshot.hits"' | grep -q '"value": 1'; then
+    echo "serve-smoke: FAIL — /statsz does not report the snapshot hit" >&2
+    exit 1
+fi
+
 echo "serve-smoke: draining"
 kill -TERM "$PID"
 i=0
@@ -70,4 +112,4 @@ while kill -0 "$PID" 2>/dev/null; do
 done
 wait "$PID" 2>/dev/null || true
 
-echo "serve-smoke: OK — cold=miss, replay=hit, responses byte-identical, clean drain"
+echo "serve-smoke: OK — cold=miss, replay=hit, warm=store then hit, responses byte-identical, clean drain"
