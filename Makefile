@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench experiments obs serve-smoke
+.PHONY: ci vet build test race bench bench-smoke profile experiments obs serve-smoke
 
-ci: vet build test race serve-smoke
+ci: vet build test race bench-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,9 +25,11 @@ test:
 # requests), and the core snapshot/restore keystone (byte-identical
 # warm starts across collectors and policies).
 # Race instrumentation slows the workload suite well past go test's
-# default 10m timeout, hence the explicit budget.
+# default 10m timeout, hence the explicit budget. The root package
+# contributes the golden-equivalence subset (fop/compress/jess), which
+# pins the fast-path rewrite byte-for-byte under the race detector.
 race:
-	$(GO) test -race -timeout 60m ./internal/bench/... ./internal/core/... ./internal/hw/cache/... ./internal/obs/... ./internal/serve/...
+	$(GO) test -race -timeout 60m . ./internal/bench/... ./internal/core/... ./internal/hw/cache/... ./internal/obs/... ./internal/serve/...
 
 # End-to-end hpmvmd smoke test: boot the daemon, issue the same run
 # request twice, assert the replay is a byte-identical cache hit, and
@@ -38,6 +40,22 @@ serve-smoke:
 # Cache hot-path microbenchmarks (BenchmarkHierarchyAccess*).
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkHierarchy -benchtime=2s ./internal/hw/cache/
+
+# One-iteration compile-and-run of every hot-path microbenchmark:
+# catches benchmarks that rot (build breaks, panics, bad metrics)
+# without paying for a statistically meaningful measurement in CI.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkCPUStep|BenchmarkCPURunLoop' -benchtime=1x ./internal/hw/cpu/
+	$(GO) test -run '^$$' -bench 'BenchmarkHierarchyAccess' -benchtime=1x ./internal/hw/cache/
+	$(GO) test -run '^$$' -bench 'BenchmarkSystemMcycles/compress' -benchtime=1x .
+
+# CPU and heap profiles of the fig2 hot loop (the simulator's
+# steady-state inner loop). Inspect with `go tool pprof cpu.prof`; see
+# DESIGN.md §11 for the profiling workflow this feeds.
+profile:
+	$(GO) run ./cmd/experiments -exp fig2 -workloads db -reps 1 -progress=false \
+		-cpuprofile cpu.prof -memprofile mem.prof
+	@echo "wrote cpu.prof and mem.prof — inspect with: $(GO) tool pprof cpu.prof"
 
 # Full paper regeneration with the perf record (see results/).
 experiments:

@@ -34,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -49,6 +50,12 @@ type expRecord struct {
 	WallSeconds     float64 `json:"wall_seconds"`
 	RunSeconds      float64 `json:"run_seconds"` // summed per-run wall clock
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// Simulation throughput: total simulated volume over the summed
+	// per-run wall clock (serial-equivalent, independent of -jobs).
+	SimMcycles    float64 `json:"sim_mcycles"`
+	SimMinstr     float64 `json:"sim_minstr"`
+	McyclesPerSec float64 `json:"mcycles_per_sec"`
+	MinstrPerSec  float64 `json:"minstr_per_sec"`
 	// Metrics carries experiment-published headline numbers (e.g. the
 	// warmstart experiment's warm_start_speedup).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
@@ -65,6 +72,9 @@ type benchReport struct {
 	TotalWallSeconds float64     `json:"total_wall_seconds"`
 	TotalRunSeconds  float64     `json:"total_run_seconds"`
 	SpeedupVsSerial  float64     `json:"speedup_vs_serial"`
+	TotalSimMcycles  float64     `json:"total_sim_mcycles"`
+	McyclesPerSec    float64     `json:"mcycles_per_sec"`
+	MinstrPerSec     float64     `json:"minstr_per_sec"`
 }
 
 func main() {
@@ -78,7 +88,42 @@ func main() {
 	traceFile := flag.String("trace", "", "run the observability sweep and write per-workload event traces to this file")
 	progress := flag.Bool("progress", true, "live progress line on stderr")
 	list := flag.Bool("list", false, "list registered workloads and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (after final GC) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}()
+	}
 
 	if *list {
 		for _, n := range bench.Names() {
@@ -101,6 +146,7 @@ func main() {
 		names = nil
 	}
 
+	var totalSimCycles, totalSimInstret uint64
 	report := benchReport{
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
@@ -127,9 +173,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(res.Output)
-		fmt.Printf("[%s completed in %v — %d runs, %v run time, jobs=%d, speedup %.2fx]\n\n",
+		fmt.Printf("[%s completed in %v — %d runs, %v run time, jobs=%d, speedup %.2fx, %.1f Mcycles/s]\n\n",
 			name, res.Elapsed.Round(time.Millisecond), res.Runs,
-			res.RunTime.Round(time.Millisecond), res.Jobs, res.Speedup())
+			res.RunTime.Round(time.Millisecond), res.Jobs, res.Speedup(), res.McyclesPerSec())
 
 		report.Jobs = res.Jobs
 		report.Experiments = append(report.Experiments, expRecord{
@@ -138,14 +184,25 @@ func main() {
 			WallSeconds:     res.Elapsed.Seconds(),
 			RunSeconds:      res.RunTime.Seconds(),
 			SpeedupVsSerial: res.Speedup(),
+			SimMcycles:      float64(res.SimCycles) / 1e6,
+			SimMinstr:       float64(res.SimInstret) / 1e6,
+			McyclesPerSec:   res.McyclesPerSec(),
+			MinstrPerSec:    res.MinstrPerSec(),
 			Metrics:         res.Metrics,
 		})
 		report.TotalRuns += res.Runs
 		report.TotalWallSeconds += res.Elapsed.Seconds()
 		report.TotalRunSeconds += res.RunTime.Seconds()
+		totalSimCycles += res.SimCycles
+		totalSimInstret += res.SimInstret
 	}
 	if report.TotalWallSeconds > 0 {
 		report.SpeedupVsSerial = report.TotalRunSeconds / report.TotalWallSeconds
+	}
+	report.TotalSimMcycles = float64(totalSimCycles) / 1e6
+	if report.TotalRunSeconds > 0 {
+		report.McyclesPerSec = float64(totalSimCycles) / 1e6 / report.TotalRunSeconds
+		report.MinstrPerSec = float64(totalSimInstret) / 1e6 / report.TotalRunSeconds
 	}
 
 	if *benchJSON != "" {

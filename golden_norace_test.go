@@ -1,0 +1,8 @@
+//go:build !race
+
+package hpmvm_test
+
+// goldenRaceSubset is empty outside race builds: the golden corpus
+// covers every registered workload (see golden_race_test.go for the
+// race-lane trim).
+var goldenRaceSubset []string

@@ -1,0 +1,10 @@
+//go:build race
+
+package hpmvm_test
+
+// goldenRaceSubset trims the golden-equivalence matrix under the race
+// detector: race instrumentation slows the simulator an order of
+// magnitude, so the -race lane pins a representative subset (the
+// shortest workload plus an array-heavy and an allocation-heavy
+// program) while the normal lane covers every registered workload.
+var goldenRaceSubset = []string{"fop", "compress", "jess"}

@@ -46,6 +46,7 @@ func Ablations(opt ExpOptions) (string, error) {
 			if err != nil {
 				return err
 			}
+			e.AddSim(res.Cycles, res.Instret)
 			h.res = res
 			return nil
 		})

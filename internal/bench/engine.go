@@ -44,12 +44,36 @@ func DefaultJobs() int { return stdruntime.GOMAXPROCS(0) }
 //     completion path.
 type ProgressFunc func(done, total int, label string)
 
-// EngineStats is the engine's per-run wall-clock accounting.
+// EngineStats is the engine's per-run wall-clock and simulation-volume
+// accounting. SimCycles/SimInstret sum the final simulated counters of
+// every completed program run, so SimCycles/RunTime is the engine's
+// serial-equivalent simulation throughput (warm-started runs report
+// their final counters, which include the restored prefix).
 type EngineStats struct {
-	Jobs    int           // worker-pool width
-	Runs    int           // completed runs
-	RunTime time.Duration // summed wall clock of all completed runs
-	MaxRun  time.Duration // longest single run
+	Jobs       int           // worker-pool width
+	Runs       int           // completed runs
+	RunTime    time.Duration // summed wall clock of all completed runs
+	MaxRun     time.Duration // longest single run
+	SimCycles  uint64        // summed simulated cycles of completed runs
+	SimInstret uint64        // summed retired instructions of completed runs
+}
+
+// McyclesPerSec returns the serial-equivalent simulation throughput in
+// millions of simulated cycles per second of run time.
+func (s EngineStats) McyclesPerSec() float64 {
+	if s.RunTime <= 0 {
+		return 0
+	}
+	return float64(s.SimCycles) / 1e6 / s.RunTime.Seconds()
+}
+
+// MinstrPerSec returns the serial-equivalent simulation throughput in
+// millions of retired instructions per second of run time.
+func (s EngineStats) MinstrPerSec() float64 {
+	if s.RunTime <= 0 {
+		return 0
+	}
+	return float64(s.SimInstret) / 1e6 / s.RunTime.Seconds()
 }
 
 // Engine is a bounded worker pool for independent experiment runs.
@@ -61,13 +85,15 @@ type Engine struct {
 	sem  chan struct{}
 	wg   sync.WaitGroup
 
-	mu        sync.Mutex
-	err       error
-	submitted int
-	done      int
-	runTime   time.Duration
-	maxRun    time.Duration
-	progress  ProgressFunc
+	mu         sync.Mutex
+	err        error
+	submitted  int
+	done       int
+	runTime    time.Duration
+	maxRun     time.Duration
+	simCycles  uint64
+	simInstret uint64
+	progress   ProgressFunc
 }
 
 // NewEngine creates an engine with the given worker-pool width
@@ -97,7 +123,21 @@ func (e *Engine) Jobs() int { return e.jobs }
 func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return EngineStats{Jobs: e.jobs, Runs: e.done, RunTime: e.runTime, MaxRun: e.maxRun}
+	return EngineStats{
+		Jobs: e.jobs, Runs: e.done, RunTime: e.runTime, MaxRun: e.maxRun,
+		SimCycles: e.simCycles, SimInstret: e.simInstret,
+	}
+}
+
+// AddSim credits a completed run's simulated volume to the engine's
+// throughput accounting. The Run/Repeat/RunFrom helpers call it
+// automatically; only custom Submit closures that execute their own
+// simulations need to call it themselves.
+func (e *Engine) AddSim(cycles, instret uint64) {
+	e.mu.Lock()
+	e.simCycles += cycles
+	e.simInstret += instret
+	e.mu.Unlock()
 }
 
 // Submit schedules f on the pool. After the first error, remaining
@@ -218,6 +258,7 @@ func (e *Engine) runAsync(ctx context.Context, b Builder, cfg RunConfig, label s
 			h.err = err
 			return err
 		}
+		e.AddSim(res.Cycles, res.Instret)
 		h.res, h.sys = res, sys
 		return nil
 	}, isolated, func() {
@@ -295,6 +336,7 @@ func (e *Engine) RepeatAsync(b Builder, cfg RunConfig, reps int, label string) *
 			if err != nil {
 				return err
 			}
+			e.AddSim(r.Cycles, r.Instret)
 			h.times[i] = float64(r.Cycles)
 			h.results[i] = r
 			return nil

@@ -128,9 +128,32 @@ type ExpRun struct {
 	Runs    int           // independent program runs executed
 	RunTime time.Duration // summed per-run wall clock (serial-equivalent time)
 	Elapsed time.Duration // actual wall clock
+	// SimCycles/SimInstret sum the simulated volume of the experiment's
+	// runs (see EngineStats), making simulation throughput part of the
+	// perf record tracked across PRs.
+	SimCycles  uint64
+	SimInstret uint64
 	// Metrics carries named headline numbers the experiment published
 	// via recordMetric (nil when it published none).
 	Metrics map[string]float64
+}
+
+// McyclesPerSec returns the experiment's serial-equivalent simulation
+// throughput in millions of simulated cycles per second.
+func (r ExpRun) McyclesPerSec() float64 {
+	if r.RunTime <= 0 {
+		return 0
+	}
+	return float64(r.SimCycles) / 1e6 / r.RunTime.Seconds()
+}
+
+// MinstrPerSec returns the experiment's serial-equivalent simulation
+// throughput in millions of retired instructions per second.
+func (r ExpRun) MinstrPerSec() float64 {
+	if r.RunTime <= 0 {
+		return 0
+	}
+	return float64(r.SimInstret) / 1e6 / r.RunTime.Seconds()
 }
 
 // Speedup estimates the speedup over a serial execution: the summed
@@ -159,12 +182,14 @@ func RunExperimentFull(name string, opt ExpOptions) (ExpRun, error) {
 	}
 	st := e.Stats()
 	r := ExpRun{
-		Name:    name,
-		Output:  out,
-		Jobs:    st.Jobs,
-		Runs:    st.Runs,
-		RunTime: st.RunTime,
-		Elapsed: time.Since(start),
+		Name:       name,
+		Output:     out,
+		Jobs:       st.Jobs,
+		Runs:       st.Runs,
+		RunTime:    st.RunTime,
+		Elapsed:    time.Since(start),
+		SimCycles:  st.SimCycles,
+		SimInstret: st.SimInstret,
 	}
 	if len(opt.metrics) > 0 {
 		r.Metrics = opt.metrics

@@ -105,6 +105,7 @@ func (e *Engine) RunFrom(b Builder, snapshot []byte, configs ...RunConfig) []*Ru
 				h.err = err
 				return err
 			}
+			e.AddSim(res.Cycles, res.Instret)
 			h.res, h.sys = res, sys
 			return nil
 		}, false, func() {

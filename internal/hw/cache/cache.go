@@ -159,20 +159,48 @@ type setAssoc struct {
 	stamp    uint64
 	accesses uint64
 	misses   uint64
+
+	// MRU memo: recently hit or filled lines, direct-mapped by the low
+	// key bits so lines from interleaved regions (stack, nursery,
+	// mature space) can stay memoized at once. A probe whose key
+	// matches skips the set scan and touches the line directly — pure
+	// host-side memoization whose counter/LRU/dirty mutations are
+	// identical to the scan's, so simulated state is unchanged (the
+	// memo is never serialized; see snapshot.go). Invalidated whenever
+	// lines[] changes under it: fill re-points its slot at the filled
+	// way, invalidateAll and snapshot decode clear all slots.
+	memoOK  [memoSlots]bool
+	memoKey [memoSlots]uint64
+	memoIdx [memoSlots]uint64
+
+	// idx, when non-nil, is an exact key→way index replacing the way
+	// scan entirely — used for the fully-associative DTLB, whose
+	// 64-way scans dominate probe cost otherwise. Maintained by fill
+	// (mirror of the valid lines), cleared by invalidateAll and
+	// rebuilt by snapshot decode. Only enabled for single-set arrays,
+	// where tag == key keeps the mirror trivial.
+	idx *wayIndex
 }
+
+// memoSlots is the number of MRU memo slots; must be a power of two.
+const memoSlots = 8
 
 func newSetAssoc(totalLines, assoc int, offBits uint) *setAssoc {
 	nsets := totalLines / assoc
 	if nsets < 1 {
 		nsets = 1
 	}
-	return &setAssoc{
+	sa := &setAssoc{
 		lines:   make([]line, nsets*assoc),
 		assoc:   uint64(assoc),
 		setMask: uint64(nsets - 1),
 		setBits: uint(popcount(uint64(nsets - 1))),
 		offBits: offBits,
 	}
+	if nsets == 1 && assoc >= 32 {
+		sa.idx = newWayIndex(assoc)
+	}
+	return sa
 }
 
 // probe tests whether the line identified by key (addr >> offBits) is
@@ -182,6 +210,27 @@ func newSetAssoc(totalLines, assoc int, offBits uint) *setAssoc {
 func (sa *setAssoc) probe(key uint64, markDirty bool) bool {
 	sa.stamp++
 	sa.accesses++
+	if sa.idx != nil {
+		way, ok := sa.idx.get(key)
+		if !ok {
+			return false
+		}
+		ln := &sa.lines[way]
+		ln.lru = sa.stamp
+		if markDirty {
+			ln.dirty = true
+		}
+		return true
+	}
+	slot := key & (memoSlots - 1)
+	if sa.memoOK[slot] && sa.memoKey[slot] == key {
+		ln := &sa.lines[sa.memoIdx[slot]]
+		ln.lru = sa.stamp
+		if markDirty {
+			ln.dirty = true
+		}
+		return true
+	}
 	base := (key & sa.setMask) * sa.assoc
 	set := sa.lines[base : base+sa.assoc]
 	tag := key >> sa.setBits
@@ -191,6 +240,7 @@ func (sa *setAssoc) probe(key uint64, markDirty bool) bool {
 			if markDirty {
 				set[i].dirty = true
 			}
+			sa.memoOK[slot], sa.memoKey[slot], sa.memoIdx[slot] = true, key, base+uint64(i)
 			return true
 		}
 	}
@@ -214,7 +264,29 @@ func (sa *setAssoc) fill(key uint64, markDirty bool) (writeback bool) {
 		}
 	}
 	writeback = set[victim].valid && set[victim].dirty
+	if sa.idx != nil {
+		// Single-set array: tag == key, so the index mirror updates
+		// straight from the evicted and inserted tags.
+		if set[victim].valid {
+			sa.idx.del(set[victim].tag)
+		}
+		set[victim] = line{tag: key >> sa.setBits, valid: true, dirty: markDirty, lru: sa.stamp}
+		sa.idx.put(key, base+uint64(victim))
+		return writeback
+	}
 	set[victim] = line{tag: key >> sa.setBits, valid: true, dirty: markDirty, lru: sa.stamp}
+	// The evicted line may be memoized under another key's slot; any
+	// slot pointing at the replaced way is now stale.
+	idx := base + uint64(victim)
+	for s := range sa.memoIdx {
+		if sa.memoIdx[s] == idx {
+			sa.memoOK[s] = false
+		}
+	}
+	// Then memoize the filled way: the line just missed is the
+	// likeliest next hit.
+	slot := key & (memoSlots - 1)
+	sa.memoOK[slot], sa.memoKey[slot], sa.memoIdx[slot] = true, key, idx
 	return writeback
 }
 
@@ -250,6 +322,10 @@ func (sa *setAssoc) contains(addr uint64) bool {
 func (sa *setAssoc) invalidateAll() {
 	for i := range sa.lines {
 		sa.lines[i] = line{}
+	}
+	sa.memoOK = [memoSlots]bool{}
+	if sa.idx != nil {
+		sa.idx.clear()
 	}
 }
 
@@ -348,7 +424,15 @@ type Hierarchy struct {
 	lineBits uint
 	pageBits uint
 
-	prefetched map[uint64]bool // lines currently resident due to prefetch, not yet demanded
+	prefetched *pfSet // lines currently resident due to prefetch, not yet demanded
+
+	// pfMask is a 64-bit bloom filter over the prefetched set (bit =
+	// lineAddr mod 64): the access hot path tests one bit instead of a
+	// map lookup when the probed line cannot be in the set. Deletions
+	// leave bits set (false positives only cost the map lookup they
+	// used to always pay); the mask resets whenever the set empties or
+	// is replaced. Host-side only, never serialized.
+	pfMask uint64
 }
 
 // New builds a hierarchy from cfg. It panics on an invalid config since
@@ -366,7 +450,7 @@ func New(cfg Config) *Hierarchy {
 		tlb:        newSetAssoc(cfg.TLBEntries, cfg.TLBEntries, pageBits),
 		lineBits:   lineBits,
 		pageBits:   pageBits,
-		prefetched: make(map[uint64]bool),
+		prefetched: newPfSet(),
 	}
 	if cfg.PrefetchEnabled {
 		h.streams = make([]stream, cfg.PrefetchStreams)
@@ -433,9 +517,10 @@ func (h *Hierarchy) ResetStats() {
 		h.obs.Emit(obs.EvCacheWindow, h.obsNow(), st.Accesses, st.L1Misses, st.Cycles)
 	}
 	h.stats = Stats{}
-	if len(h.prefetched) != 0 {
-		h.prefetched = make(map[uint64]bool)
+	if h.prefetched.Len() != 0 {
+		h.prefetched.Clear()
 	}
+	h.pfMask = 0
 }
 
 // Flush invalidates all cache and TLB state.
@@ -446,7 +531,8 @@ func (h *Hierarchy) Flush() {
 	for i := range h.streams {
 		h.streams[i] = stream{}
 	}
-	h.prefetched = make(map[uint64]bool)
+	h.prefetched.Clear()
+	h.pfMask = 0
 }
 
 // Access simulates one demand access of the given size at addr and
@@ -458,9 +544,10 @@ func (h *Hierarchy) Flush() {
 // and store of every simulated instruction lands here — so the common
 // case (TLB hit, L1 hit, no outstanding prefetches) is kept branch-
 // lean: line and page addresses are shifted once and handed to the
-// probe fast path, the prefetched-line bookkeeping is skipped entirely
-// while the map is empty, and listener delivery is a nil check on the
-// miss paths only (TestAccessFingerprint pins the exact behavior).
+// probe fast path, the prefetched-line bookkeeping is screened by the
+// pfMask bloom bit before the set is consulted, and listener delivery
+// is a nil check on the miss paths only (TestAccessFingerprint pins
+// the exact behavior).
 func (h *Hierarchy) Access(addr uint64, size int, write bool) uint64 {
 	st := &h.stats
 	st.Accesses++
@@ -484,12 +571,15 @@ func (h *Hierarchy) Access(addr uint64, size int, write bool) uint64 {
 	lineAddr := addr >> h.lineBits
 
 	// First demand touch of a prefetched line counts as a prefetch
-	// hit, whether it is found in L1 (usual case) or deeper. The map
-	// is empty unless the prefetcher has outstanding lines, so the
-	// common case is a single len check.
-	if len(h.prefetched) != 0 && h.prefetched[lineAddr] {
+	// hit, whether it is found in L1 (usual case) or deeper. The bloom
+	// mask screens out lines that cannot be in the outstanding set, so
+	// the common case is a single bit test instead of a map lookup.
+	if h.pfMask&(1<<(lineAddr&63)) != 0 && h.prefetched.Contains(lineAddr) {
 		st.PrefetchHits++
-		delete(h.prefetched, lineAddr)
+		h.prefetched.Delete(lineAddr)
+		if h.prefetched.Len() == 0 {
+			h.pfMask = 0
+		}
 	}
 
 	// L1 hit: the fast path out.
@@ -592,7 +682,8 @@ func (h *Hierarchy) prefetchLine(lineAddr uint64) {
 	h.stats.Prefetches++
 	h.l2.lookup(addr, true, false)
 	h.l1.lookup(addr, true, false)
-	h.prefetched[lineAddr] = true
+	h.prefetched.Add(lineAddr)
+	h.pfMask |= 1 << (lineAddr & 63)
 }
 
 // L1Contains reports whether the line holding addr is resident in L1.

@@ -48,6 +48,17 @@ func (sa *setAssoc) decode(r *snap.Reader, name string) error {
 	sa.stamp = r.U64()
 	sa.accesses = r.U64()
 	sa.misses = r.U64()
+	// The MRU memo indexes into the just-overwritten lines; drop it,
+	// and rebuild the way index from the restored tags.
+	sa.memoOK = [memoSlots]bool{}
+	if sa.idx != nil {
+		sa.idx.clear()
+		for i := range sa.lines {
+			if sa.lines[i].valid {
+				sa.idx.put(sa.lines[i].tag, uint64(i))
+			}
+		}
+	}
 	return r.Err()
 }
 
@@ -78,10 +89,7 @@ func (h *Hierarchy) Snapshot() snap.ComponentState {
 	w.U64(st.Prefetches)
 	w.U64(st.PrefetchHits)
 	w.U64(st.Cycles)
-	keys := make([]uint64, 0, len(h.prefetched))
-	for k := range h.prefetched {
-		keys = append(keys, k)
-	}
+	keys := h.prefetched.Keys()
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	w.U64(uint64(len(keys)))
 	for _, k := range keys {
@@ -132,14 +140,18 @@ func (h *Hierarchy) Restore(st snap.ComponentState) error {
 	stats.PrefetchHits = r.U64()
 	stats.Cycles = r.U64()
 	nPref := r.U64()
-	pref := make(map[uint64]bool, nPref)
+	pref := newPfSet()
+	var mask uint64
 	for i := uint64(0); i < nPref && r.Err() == nil; i++ {
-		pref[r.U64()] = true
+		k := r.U64()
+		pref.Add(k)
+		mask |= 1 << (k & 63)
 	}
 	if err := r.Close(); err != nil {
 		return err
 	}
 	h.stats = stats
 	h.prefetched = pref
+	h.pfMask = mask
 	return nil
 }

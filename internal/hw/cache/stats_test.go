@@ -89,14 +89,10 @@ func TestResetStatsWindowIndependence(t *testing.T) {
 	if pre.Prefetches == 0 || pre.PrefetchHits == 0 {
 		t.Fatalf("walk did not exercise the prefetcher: %+v", pre)
 	}
-	if len(h.prefetched) == 0 {
+	if h.prefetched.Len() == 0 {
 		t.Fatal("walk left no outstanding prefetched lines; pick a longer stream")
 	}
-	var outstanding uint64
-	for line := range h.prefetched {
-		outstanding = line
-		break
-	}
+	outstanding := h.prefetched.Keys()[0]
 
 	h.ResetStats()
 
@@ -104,8 +100,8 @@ func TestResetStatsWindowIndependence(t *testing.T) {
 	if h.Stats() != (Stats{}) {
 		t.Errorf("counters not zeroed: %+v", h.Stats())
 	}
-	if len(h.prefetched) != 0 {
-		t.Errorf("%d prefetched-line entries leaked into the new window", len(h.prefetched))
+	if h.prefetched.Len() != 0 {
+		t.Errorf("%d prefetched-line entries leaked into the new window", h.prefetched.Len())
 	}
 
 	// Demanding a line prefetched in the PREVIOUS window must not count

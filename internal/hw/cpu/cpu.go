@@ -78,6 +78,7 @@ type CPU struct {
 
 	cfg     Config
 	code    []Instr
+	dec     []decInstr // predecoded image of code, rebuilt lazily by runLoop
 	handler TrapHandler
 
 	// Barrier, when set, observes every reference store (slot address
@@ -487,16 +488,4 @@ func (c *CPU) trap(num int64) {
 		c.fault(fmt.Sprintf("trap %d with no handler", num))
 	}
 	c.handler.Trap(c, num)
-}
-
-// Run executes up to maxInstr instructions, stopping early if the CPU
-// halts. It returns the number of instructions retired.
-func (c *CPU) Run(maxInstr uint64) uint64 {
-	start := c.instret
-	for c.instret-start < maxInstr {
-		if !c.Step() {
-			break
-		}
-	}
-	return c.instret - start
 }

@@ -1,0 +1,395 @@
+package cpu
+
+// Fast-path interpreter: a predecoded, horizon-bounded inner loop that
+// executes the common opcodes without per-instruction Step overhead
+// while remaining cycle- and state-identical to Step (DESIGN.md §11,
+// pinned by TestGoldenEquivalence and TestRunLoopStepEquivalence).
+//
+// Identity argument, in brief:
+//
+//   - PC, cycles and instret live in locals, but every call-out that
+//     can observe or mutate CPU state — Hierarchy.Access (whose event
+//     listeners run PEBS capture: SamplePC/SampleRegs/AddCycles), the
+//     write barrier (AddCycles), and the trap handler — sees them
+//     flushed first, and cycles/instret are reloaded afterwards. This
+//     reproduces Step's `c.cycles += c.Hier.Access(...)` semantics,
+//     where the Go evaluation order reads c.cycles after the call.
+//   - The register file and SP/FP stay struct-resident, so samples
+//     taken mid-access read exactly what Step's would.
+//   - Rare or intricate opcodes (calls, divides, traps, unknown)
+//     delegate to Step itself with state flushed, so the two
+//     interpreters cannot drift on them.
+//   - The cycle horizon and instruction budget are checked before
+//     every instruction — including between the halves of a fused
+//     pair — so ticker scheduling, pause points and Run(maxInstr)
+//     accounting are bit-identical to a Step loop.
+
+// Base-kind codes resolved at predecode time from the Rs1 field of
+// memory instructions (see base()).
+const (
+	bkReg uint8 = iota
+	bkSP
+	bkFP
+	bkZero
+)
+
+// decInstr is one predecoded instruction: the opcode and register
+// fields of the original Instr with the base-register kind resolved,
+// shift immediates pre-masked, and a fusion marker for AddImm+Ld8
+// pairs. 16 bytes, same as Instr, so predecoding doubles rather than
+// explodes the instruction working set.
+type decInstr struct {
+	op   Op
+	rd   uint8
+	rs1  uint8
+	rs2  uint8
+	bk   uint8 // base kind for memory operands
+	fuse uint8 // nonzero: next instruction is a fusable Ld8 tail
+	imm  int64
+}
+
+// isMemOp reports whether the opcode addresses memory via base(Rs1).
+func isMemOp(op Op) bool {
+	return op >= OpLd8 && op <= OpSt1
+}
+
+// predecode (re)builds the decoded image of the installed code. It is
+// called lazily from runLoop whenever the code length changed
+// (InstallCode appends; code is never mutated in place).
+func (c *CPU) predecode() {
+	dec := make([]decInstr, len(c.code))
+	for i := range c.code {
+		in := &c.code[i]
+		d := &dec[i]
+		d.op = in.Op
+		d.rd = in.Rd
+		d.rs1 = in.Rs1
+		d.rs2 = in.Rs2
+		d.imm = in.Imm
+		if isMemOp(in.Op) {
+			switch in.Rs1 {
+			case BaseSP:
+				d.bk = bkSP
+			case BaseFP:
+				d.bk = bkFP
+			case RegZero:
+				d.bk = bkZero
+			default:
+				d.bk = bkReg
+			}
+		}
+		if in.Op == OpShlImm {
+			// Step shifts by Imm&63; pre-mask so the loop shifts directly.
+			d.imm = in.Imm & 63
+		}
+		// Fuse AddImm followed by Ld8: the pair is executed in one
+		// dispatch when control falls through the AddImm. Both halves
+		// keep their own cycle/instret charges and horizon checks, and
+		// the Ld8's standalone entry still exists for jumps into it,
+		// so fusion changes host work only.
+		if in.Op == OpAddImm && i+1 < len(c.code) && c.code[i+1].Op == OpLd8 {
+			d.fuse = 1
+		}
+	}
+	c.dec = dec
+}
+
+// baseAt resolves a predecoded memory operand's base value.
+func (c *CPU) baseAt(d *decInstr) uint64 {
+	switch d.bk {
+	case bkSP:
+		return c.SP
+	case bkFP:
+		return c.FP
+	case bkZero:
+		return 0
+	default:
+		return c.Regs[d.rs1]
+	}
+}
+
+// RunCycles executes instructions until the cycle counter reaches
+// horizon, the CPU halts, or a fault aborts the run. It is the
+// event-horizon entry point for the VM's run loop: the caller computes
+// the next cycle at which anything non-local can fire (ticker
+// deadlines, pause points, cancel safepoints) and lets the CPU run
+// unchecked until then. Equivalent to `for c.Cycles() < horizon {
+// c.Step() }` with the per-instruction overhead hoisted out.
+func (c *CPU) RunCycles(horizon uint64) {
+	c.runLoop(horizon, ^uint64(0))
+}
+
+// Run executes up to maxInstr instructions, stopping early if the CPU
+// halts. It returns the number of instructions retired, clamped to
+// maxInstr: the budget is counted down per retired instruction, so the
+// accounting neither overshoots when a trap handler halts mid-
+// instruction nor breaks when instret wraps around 2^64.
+func (c *CPU) Run(maxInstr uint64) uint64 {
+	return c.runLoop(^uint64(0), maxInstr)
+}
+
+// runLoop is the shared tight interpreter loop. It retires whole
+// instructions while cycles < cycleHorizon and the instruction budget
+// lasts, and returns the number of instructions retired.
+func (c *CPU) runLoop(cycleHorizon, budget uint64) uint64 {
+	if len(c.dec) != len(c.code) {
+		c.predecode()
+	}
+	dec := c.dec
+	cbase := c.cfg.CodeBase
+	clen := uint64(len(dec))
+	mulCycles := c.cfg.MulCycles
+	takenBranch := c.cfg.TakenBranchCycles
+	callCycles := c.cfg.CallCycles
+	barrierCycles := c.cfg.BarrierCycles
+
+	// Hot state in locals; flushed at every call-out and at loop exit.
+	pc := c.PC
+	cyc := c.cycles
+	ins := c.instret
+	startBudget := budget
+
+run:
+	for !c.halted && cyc < cycleHorizon && budget != 0 {
+		if pc < cbase {
+			c.PC, c.cycles, c.instret = pc, cyc, ins
+			c.fault("PC outside code space")
+		}
+		idx := (pc - cbase) / InstrBytes
+		if idx >= clen {
+			c.PC, c.cycles, c.instret = pc, cyc, ins
+			c.fault("PC beyond installed code")
+		}
+		d := &dec[idx]
+		budget--
+		cyc++
+		ins++
+
+		switch d.op {
+		case OpNop:
+
+		case OpMovImm:
+			c.setReg(d.rd, uint64(d.imm))
+		case OpMov:
+			c.setReg(d.rd, c.reg(d.rs1))
+
+		case OpAdd:
+			c.setReg(d.rd, c.reg(d.rs1)+c.reg(d.rs2))
+		case OpSub:
+			c.setReg(d.rd, c.reg(d.rs1)-c.reg(d.rs2))
+		case OpMul:
+			cyc += mulCycles
+			c.setReg(d.rd, uint64(int64(c.reg(d.rs1))*int64(c.reg(d.rs2))))
+		case OpAnd:
+			c.setReg(d.rd, c.reg(d.rs1)&c.reg(d.rs2))
+		case OpOr:
+			c.setReg(d.rd, c.reg(d.rs1)|c.reg(d.rs2))
+		case OpXor:
+			c.setReg(d.rd, c.reg(d.rs1)^c.reg(d.rs2))
+		case OpShl:
+			c.setReg(d.rd, c.reg(d.rs1)<<(c.reg(d.rs2)&63))
+		case OpShr:
+			c.setReg(d.rd, c.reg(d.rs1)>>(c.reg(d.rs2)&63))
+		case OpSar:
+			c.setReg(d.rd, uint64(int64(c.reg(d.rs1))>>(c.reg(d.rs2)&63)))
+
+		case OpAddImm:
+			c.setReg(d.rd, c.reg(d.rs1)+uint64(d.imm))
+			if d.fuse != 0 && !c.halted && cyc < cycleHorizon && budget != 0 {
+				// Fused Ld8 tail: identical to the standalone Ld8 case
+				// below, entered without another dispatch round-trip.
+				pc += InstrBytes
+				t := &dec[idx+1]
+				budget--
+				cyc++
+				ins++
+				a := c.baseAt(t) + uint64(t.imm)
+				c.PC, c.cycles, c.instret = pc, cyc, ins
+				cost := c.Hier.Access(a, 8, false)
+				cyc = c.cycles + cost
+				c.setReg(t.rd, c.Mem.Read8(a))
+			}
+		case OpMulImm:
+			cyc += mulCycles
+			c.setReg(d.rd, uint64(int64(c.reg(d.rs1))*d.imm))
+		case OpShlImm:
+			c.setReg(d.rd, c.reg(d.rs1)<<uint64(d.imm))
+
+		case OpLd8:
+			a := c.baseAt(d) + uint64(d.imm)
+			c.PC, c.cycles, c.instret = pc, cyc, ins
+			cost := c.Hier.Access(a, 8, false)
+			cyc = c.cycles + cost
+			c.setReg(d.rd, c.Mem.Read8(a))
+		case OpLd4:
+			a := c.baseAt(d) + uint64(d.imm)
+			c.PC, c.cycles, c.instret = pc, cyc, ins
+			cost := c.Hier.Access(a, 4, false)
+			cyc = c.cycles + cost
+			c.setReg(d.rd, uint64(c.Mem.Read4(a)))
+		case OpLd2:
+			a := c.baseAt(d) + uint64(d.imm)
+			c.PC, c.cycles, c.instret = pc, cyc, ins
+			cost := c.Hier.Access(a, 2, false)
+			cyc = c.cycles + cost
+			c.setReg(d.rd, uint64(c.Mem.Read2(a)))
+		case OpLd1:
+			a := c.baseAt(d) + uint64(d.imm)
+			c.PC, c.cycles, c.instret = pc, cyc, ins
+			cost := c.Hier.Access(a, 1, false)
+			cyc = c.cycles + cost
+			c.setReg(d.rd, uint64(c.Mem.Read1(a)))
+
+		case OpSt8:
+			a := c.baseAt(d) + uint64(d.imm)
+			c.PC, c.cycles, c.instret = pc, cyc, ins
+			cost := c.Hier.Access(a, 8, true)
+			cyc = c.cycles + cost
+			c.Mem.Write8(a, c.reg(d.rs2))
+		case OpStRef:
+			a := c.baseAt(d) + uint64(d.imm)
+			c.PC, c.cycles, c.instret = pc, cyc, ins
+			cost := c.Hier.Access(a, 8, true)
+			cyc = c.cycles + cost
+			v := c.reg(d.rs2)
+			c.Mem.Write8(a, v)
+			cyc += barrierCycles
+			if c.Barrier != nil {
+				// The barrier charges AddCycles for remembered-set
+				// records; it must see (and we must keep) the live
+				// counter.
+				c.cycles = cyc
+				c.Barrier(a, v)
+				cyc = c.cycles
+			}
+		case OpSt4:
+			a := c.baseAt(d) + uint64(d.imm)
+			c.PC, c.cycles, c.instret = pc, cyc, ins
+			cost := c.Hier.Access(a, 4, true)
+			cyc = c.cycles + cost
+			c.Mem.Write4(a, uint32(c.reg(d.rs2)))
+		case OpSt2:
+			a := c.baseAt(d) + uint64(d.imm)
+			c.PC, c.cycles, c.instret = pc, cyc, ins
+			cost := c.Hier.Access(a, 2, true)
+			cyc = c.cycles + cost
+			c.Mem.Write2(a, uint16(c.reg(d.rs2)))
+		case OpSt1:
+			a := c.baseAt(d) + uint64(d.imm)
+			c.PC, c.cycles, c.instret = pc, cyc, ins
+			cost := c.Hier.Access(a, 1, true)
+			cyc = c.cycles + cost
+			c.Mem.Write1(a, uint8(c.reg(d.rs2)))
+
+		case OpEnter:
+			c.SP -= 8
+			c.PC, c.cycles, c.instret = pc, cyc, ins
+			cost := c.Hier.Access(c.SP, 8, true)
+			cyc = c.cycles + cost
+			c.Mem.Write8(c.SP, c.FP)
+			c.FP = c.SP
+			c.SP -= uint64(d.imm)
+		case OpLeave:
+			c.SP = c.FP
+			c.PC, c.cycles, c.instret = pc, cyc, ins
+			cost := c.Hier.Access(c.SP, 8, false)
+			cyc = c.cycles + cost
+			c.FP = c.Mem.Read8(c.SP)
+			c.SP += 8
+
+		case OpRet:
+			cyc += callCycles
+			c.PC, c.cycles, c.instret = pc, cyc, ins
+			cost := c.Hier.Access(c.SP, 8, false)
+			cyc = c.cycles + cost
+			target := c.Mem.Read8(c.SP)
+			c.SP += 8
+			if target == 0 {
+				// Return from the entry frame: the program is done.
+				// PC stays at the Ret, exactly like Step.
+				c.Halt(0)
+				break run
+			}
+			pc = target
+			continue
+
+		case OpJmp:
+			cyc += takenBranch
+			pc = uint64(d.imm)
+			continue
+
+		case OpBrEQ:
+			if c.reg(d.rs1) == c.reg(d.rs2) {
+				cyc += takenBranch
+				pc = uint64(d.imm)
+				continue
+			}
+		case OpBrNE:
+			if c.reg(d.rs1) != c.reg(d.rs2) {
+				cyc += takenBranch
+				pc = uint64(d.imm)
+				continue
+			}
+		case OpBrLT:
+			if int64(c.reg(d.rs1)) < int64(c.reg(d.rs2)) {
+				cyc += takenBranch
+				pc = uint64(d.imm)
+				continue
+			}
+		case OpBrLE:
+			if int64(c.reg(d.rs1)) <= int64(c.reg(d.rs2)) {
+				cyc += takenBranch
+				pc = uint64(d.imm)
+				continue
+			}
+		case OpBrGT:
+			if int64(c.reg(d.rs1)) > int64(c.reg(d.rs2)) {
+				cyc += takenBranch
+				pc = uint64(d.imm)
+				continue
+			}
+		case OpBrGE:
+			if int64(c.reg(d.rs1)) >= int64(c.reg(d.rs2)) {
+				cyc += takenBranch
+				pc = uint64(d.imm)
+				continue
+			}
+		case OpBrULT:
+			if c.reg(d.rs1) < c.reg(d.rs2) {
+				cyc += takenBranch
+				pc = uint64(d.imm)
+				continue
+			}
+		case OpBrUGE:
+			if c.reg(d.rs1) >= c.reg(d.rs2) {
+				cyc += takenBranch
+				pc = uint64(d.imm)
+				continue
+			}
+
+		default:
+			// Calls, divides, traps, and unimplemented opcodes: undo
+			// the pre-charge (Step charges its own) and delegate, so
+			// the rare cases share one implementation with Step.
+			cyc--
+			ins--
+			c.PC, c.cycles, c.instret = pc, cyc, ins
+			c.Step()
+			cyc, ins = c.cycles, c.instret
+			pc = c.PC
+			if len(dec) != len(c.code) {
+				// A trap handler installed code (recompilation);
+				// refresh the decoded image before continuing.
+				c.predecode()
+				dec = c.dec
+				clen = uint64(len(dec))
+			}
+			continue
+		}
+
+		pc += InstrBytes
+	}
+
+	c.PC, c.cycles, c.instret = pc, cyc, ins
+	return startBudget - budget
+}

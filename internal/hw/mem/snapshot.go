@@ -63,5 +63,7 @@ func (m *Memory) Restore(st snap.ComponentState) error {
 	}
 	m.pages = pages
 	m.touched = int(touched)
+	// The translation memo points into the replaced page set.
+	m.memoPage = [pageMemoSize]*[PageSize]byte{}
 	return nil
 }

@@ -257,11 +257,10 @@ func (vm *VM) run(maxCycles, pauseAt uint64) (bool, error) {
 				next = q
 			}
 		}
-		for c.Cycles() < next {
-			if !c.Step() {
-				break
-			}
-		}
+		// Nothing non-local can fire before next (ticker deadlines,
+		// cycle budget, pause point, cancel safepoint all folded in), so
+		// let the CPU run unchecked to that horizon in its fast path.
+		c.RunCycles(next)
 		if c.Halted() {
 			break
 		}

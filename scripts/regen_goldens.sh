@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerate the golden-equivalence corpus under testdata/goldens/.
+#
+# The corpus pins final metrics, obs exports and snapshot fingerprints
+# for every workload x config point (see golden_test.go). Regenerate it
+# only after an INTENTIONAL simulation-semantics change — a hot-path or
+# refactoring PR must pass against the existing corpus unchanged.
+#
+# Usage: scripts/regen_goldens.sh [extra go test args]
+set -eu
+cd "$(dirname "$0")/.."
+go test -run '^TestGoldenEquivalence$' -timeout 60m -golden-regen -count=1 "$@" .
+echo "regenerated $(ls testdata/goldens/*.json | wc -l) golden files"
