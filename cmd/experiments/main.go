@@ -84,6 +84,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base PRNG seed")
 	jobs := flag.Int("jobs", 0, "parallel runs (0 = GOMAXPROCS); output is byte-identical for any value")
 	benchJSON := flag.String("bench-json", "", "write per-experiment wall-clock and speedup JSON to this file")
+	sampling := flag.Bool("sampling", false, "also run the sampled-simulation validation (estimated vs exact error and speedup; same as -exp sampling)")
 	metricsJSON := flag.String("metrics-json", "", "run the observability sweep and write per-workload counter/phase snapshots to this file")
 	traceFile := flag.String("trace", "", "run the observability sweep and write per-workload event traces to this file")
 	progress := flag.Bool("progress", true, "live progress line on stderr")
@@ -145,6 +146,15 @@ func main() {
 		// Observability-sweep-only mode: no experiments.
 		names = nil
 	}
+	if *sampling {
+		has := false
+		for _, n := range names {
+			has = has || n == "sampling"
+		}
+		if !has {
+			names = append(names, "sampling")
+		}
+	}
 
 	var totalSimCycles, totalSimInstret uint64
 	report := benchReport{
@@ -173,6 +183,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(res.Output)
+		// Go-benchmark format lines for the perf-data pipeline
+		// (BenchmarkFig2/<workload> ... Mcycles/s), alongside the JSON.
+		for _, line := range res.BenchLines {
+			fmt.Println(line)
+		}
+		if len(res.BenchLines) > 0 {
+			fmt.Println()
+		}
 		fmt.Printf("[%s completed in %v — %d runs, %v run time, jobs=%d, speedup %.2fx, %.1f Mcycles/s]\n\n",
 			name, res.Elapsed.Round(time.Millisecond), res.Runs,
 			res.RunTime.Round(time.Millisecond), res.Jobs, res.Speedup(), res.McyclesPerSec())

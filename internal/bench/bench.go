@@ -18,6 +18,7 @@ import (
 	"hpmvm/internal/hw/cache"
 	"hpmvm/internal/monitor"
 	"hpmvm/internal/obs"
+	"hpmvm/internal/stats"
 	"hpmvm/internal/vm/classfile"
 	"hpmvm/internal/vm/mcmap"
 	"hpmvm/internal/vm/runtime"
@@ -186,6 +187,13 @@ type RunConfig struct {
 	MaxCycles   uint64
 	TrackFields []string
 
+	// Sampling, when non-nil, runs the simulation in sampled mode
+	// (functional fast-forward + detailed measured regions); the
+	// extrapolated full-run metrics land in Result.Estimated. Cycles
+	// and cache stats in the Result are then the sampled run's own
+	// distorted counters, not estimates — read Estimated instead.
+	Sampling *runtime.SamplingConfig
+
 	// MonitorConfig optionally overrides the collector-thread tuning.
 	MonitorConfig *monitor.Config
 
@@ -222,6 +230,10 @@ type Result struct {
 
 	// Obs is the observability snapshot, non-nil iff Config.Observe.
 	Obs *obs.Metrics
+
+	// Estimated is the sampled-simulation extrapolation, non-nil iff
+	// Config.Sampling.
+	Estimated *stats.Estimate
 }
 
 // Resolve maps the configuration to the fully resolved core.Options
@@ -258,6 +270,7 @@ func (cfg RunConfig) Resolve(minHeap uint64, hotField string) core.Options {
 		MonitorConfig:    cfg.MonitorConfig,
 		Observe:          cfg.Observe,
 		TraceCapacity:    cfg.TraceCapacity,
+		Sampling:         cfg.Sampling,
 	}
 	if cfg.Gap != 0 || cfg.GapAtCycle != 0 || cfg.DisableRevert || cfg.Ranked {
 		cc := coalloc.DefaultConfig()
@@ -297,6 +310,17 @@ func RunContext(ctx context.Context, b Builder, cfg RunConfig) (*Result, *core.S
 		}
 	}
 	return collectResult(prog, cfg, opts.HeapLimit, sys), sys, nil
+}
+
+// BuildSystem constructs and boots a fresh System for the workload
+// without running it, returning the built Program alongside. Callers
+// that need manual control of execution — the keystone sampled-vs-exact
+// tests walk an exact machine to a sampled run's region boundaries with
+// VM.RunToInstret — use this instead of Run.
+func BuildSystem(b Builder, cfg RunConfig) (*Program, *core.System, error) {
+	prog := b()
+	sys, _, err := buildSystem(prog, cfg)
+	return prog, sys, err
 }
 
 // buildSystem constructs and boots a fresh System for prog under cfg —
@@ -352,6 +376,9 @@ func collectResult(prog *Program, cfg RunConfig, heapBytes uint64, sys *core.Sys
 		res.MonitorStats = sys.Monitor.Stats()
 	}
 	res.SamplesTaken = sys.Unit.Stats().SamplesTaken
+	if est, ok := sys.SamplingEstimate(); ok {
+		res.Estimated = &est
+	}
 	if sys.Obs != nil {
 		m := sys.Obs.Metrics()
 		res.Obs = &m

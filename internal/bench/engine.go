@@ -301,6 +301,7 @@ func (e *Engine) SubmitIsolated(label string, f func() error) (wait func() error
 // else. Accessors are valid only after Engine.Wait returns nil.
 type RepeatHandle struct {
 	times   []float64
+	wallNs  []float64
 	results []*Result
 }
 
@@ -309,6 +310,10 @@ func (h *RepeatHandle) Mean() float64 { return stats.Mean(h.times) }
 
 // StdDev returns the standard deviation over the repetitions.
 func (h *RepeatHandle) StdDev() float64 { return stats.StdDev(h.times) }
+
+// MeanWallNs returns the mean host wall clock per repetition in
+// nanoseconds — the ns/op of a Go benchmark line over these runs.
+func (h *RepeatHandle) MeanWallNs() float64 { return stats.Mean(h.wallNs) }
 
 // Last returns the final repetition's full result (the same run
 // Repeat's serial loop would have returned), or nil for zero reps.
@@ -325,6 +330,7 @@ func (h *RepeatHandle) Last() *Result {
 func (e *Engine) RepeatAsync(b Builder, cfg RunConfig, reps int, label string) *RepeatHandle {
 	h := &RepeatHandle{
 		times:   make([]float64, reps),
+		wallNs:  make([]float64, reps),
 		results: make([]*Result, reps),
 	}
 	for i := 0; i < reps; i++ {
@@ -332,12 +338,14 @@ func (e *Engine) RepeatAsync(b Builder, cfg RunConfig, reps int, label string) *
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)*7919
 		e.Submit(label, func() error {
+			start := time.Now()
 			r, _, err := Run(b, c)
 			if err != nil {
 				return err
 			}
 			e.AddSim(r.Cycles, r.Instret)
 			h.times[i] = float64(r.Cycles)
+			h.wallNs[i] = float64(time.Since(start).Nanoseconds())
 			h.results[i] = r
 			return nil
 		})

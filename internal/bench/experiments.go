@@ -7,6 +7,7 @@ import (
 
 	"hpmvm/internal/core"
 	"hpmvm/internal/stats"
+	"hpmvm/internal/vm/runtime"
 )
 
 // This file implements the regeneration of every table and figure of
@@ -16,7 +17,7 @@ import (
 // paper-vs-measured values.
 
 // Experiment names accepted by RunExperiment.
-var ExperimentNames = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablations", "warmstart"}
+var ExperimentNames = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablations", "warmstart", "sampling"}
 
 // Options tunes experiment execution.
 type ExpOptions struct {
@@ -41,6 +42,10 @@ type ExpOptions struct {
 	// headline results (e.g. the warm-start speedup) for the JSON
 	// report.
 	metrics map[string]float64
+	// bench, when set (by RunExperimentFull), collects Go-benchmark
+	// format lines ("BenchmarkFig2/<workload> ...") the experiment
+	// publishes for the perf-data pipeline.
+	bench *[]string
 }
 
 // recordMetric publishes a named headline number for the JSON report;
@@ -49,6 +54,19 @@ func (o ExpOptions) recordMetric(name string, v float64) {
 	if o.metrics != nil {
 		o.metrics[name] = v
 	}
+}
+
+// recordBench publishes one Go-benchmark format line; a no-op outside
+// RunExperimentFull. nsPerOp is the mean host wall clock per run and
+// simCycles the simulated cycles one run covers, so the line reads
+// "Benchmark<Exp>/<workload> <N> <ns/op> ns/op <throughput> Mcycles/s".
+func (o ExpOptions) recordBench(name string, n int, nsPerOp, simCycles float64) {
+	if o.bench == nil || nsPerOp <= 0 {
+		return
+	}
+	mcps := simCycles / 1e6 / (nsPerOp / 1e9)
+	*o.bench = append(*o.bench,
+		fmt.Sprintf("Benchmark%s\t%d\t%.0f ns/op\t%.1f Mcycles/s", name, n, nsPerOp, mcps))
 }
 
 // DefaultExpOptions mirrors the paper's methodology.
@@ -114,6 +132,8 @@ func RunExperiment(name string, opt ExpOptions) (string, error) {
 		return Ablations(opt)
 	case "warmstart":
 		return Warmstart(opt)
+	case "sampling":
+		return Sampling(opt)
 	default:
 		return "", fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(ExperimentNames, ", "))
 	}
@@ -136,6 +156,9 @@ type ExpRun struct {
 	// Metrics carries named headline numbers the experiment published
 	// via recordMetric (nil when it published none).
 	Metrics map[string]float64
+	// BenchLines carries Go-benchmark format lines the experiment
+	// published via recordBench (nil when it published none).
+	BenchLines []string
 }
 
 // McyclesPerSec returns the experiment's serial-equivalent simulation
@@ -175,6 +198,8 @@ func RunExperimentFull(name string, opt ExpOptions) (ExpRun, error) {
 	e.SetProgress(opt.Progress)
 	opt.eng = e
 	opt.metrics = make(map[string]float64)
+	var benchLines []string
+	opt.bench = &benchLines
 	start := time.Now()
 	out, err := RunExperiment(name, opt)
 	if err != nil {
@@ -194,6 +219,7 @@ func RunExperimentFull(name string, opt ExpOptions) (ExpRun, error) {
 	if len(opt.metrics) > 0 {
 		r.Metrics = opt.metrics
 	}
+	r.BenchLines = benchLines
 	return r, nil
 }
 
@@ -359,6 +385,7 @@ func Fig2Data(opt ExpOptions) ([]Fig2Row, error) {
 			row.Overhead = append(row.Overhead, m.Mean()/base-1)
 		}
 		rows[i] = row
+		opt.recordBench("Fig2/"+name, opt.Reps, cells[i].base.MeanWallNs(), base)
 	}
 	return rows, nil
 }
@@ -387,6 +414,157 @@ func Fig2(opt ExpOptions) (string, error) {
 		fmt.Fprintf(&b, " %7.2f%%", 100*means[i]/float64(len(rows)))
 	}
 	fmt.Fprintln(&b)
+	return b.String(), nil
+}
+
+// --- Sampled fig2: estimated vs exact ----------------------------------------
+
+// SamplingRow is one program's estimated-vs-exact comparison: the
+// exact fig2 cell means next to the multiplexed sampled pass's
+// estimates, in cycles.
+type SamplingRow struct {
+	Program   string
+	ExactBase float64
+	EstBase   float64
+	ExactMon  []float64 // mean exact monitored cycles per interval (Fig2Intervals order)
+	EstMon    []float64 // mean estimated monitored cycles per interval
+}
+
+// Errs returns the signed relative estimation error of every cell in
+// row order: baseline first, then the monitored intervals.
+func (r SamplingRow) Errs() []float64 {
+	errs := []float64{r.EstBase/r.ExactBase - 1}
+	for j := range r.ExactMon {
+		errs = append(errs, r.EstMon[j]/r.ExactMon[j]-1)
+	}
+	return errs
+}
+
+// SamplingData runs the full fig2 grid twice — exactly, and as one
+// multiplexed sampled pass per workload (see RunFig2SampledPass) — and
+// returns the per-cell comparison plus the serial-equivalent wall
+// clock each half consumed. The exact grid is (1 baseline + 4
+// intervals) × reps runs per workload; the sampled half is a single
+// pass per workload hosting all of them as lanes, which is where the
+// wall-clock speedup comes from.
+func SamplingData(opt ExpOptions) (rows []SamplingRow, exactTime, sampledTime time.Duration, err error) {
+	e := opt.engine()
+	names, builders, err := opt.builders()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+
+	// Round 1: the exact fig2 grid, cell for cell.
+	type cell struct {
+		base *RepeatHandle
+		mon  []*RepeatHandle
+	}
+	rt0 := e.Stats().RunTime
+	cells := make([]cell, len(names))
+	for i, name := range names {
+		builder := builders[i]
+		cells[i].base = e.RepeatAsync(builder, RunConfig{Seed: opt.Seed}, opt.Reps, name+"/exact-base")
+		for j, iv := range Fig2Intervals {
+			cells[i].mon = append(cells[i].mon, e.RepeatAsync(builder, RunConfig{
+				Monitoring: true, Interval: iv, Seed: opt.Seed,
+			}, opt.Reps, fmt.Sprintf("%s/exact-%s", name, Fig2Labels[j])))
+		}
+	}
+	if err := e.Wait(); err != nil {
+		return nil, 0, 0, err
+	}
+	exactTime = e.Stats().RunTime - rt0
+
+	// Round 2: one multiplexed sampled pass per workload.
+	scfg := runtime.DefaultSamplingConfig()
+	passes := make([]*Fig2SampledPass, len(names))
+	wallNs := make([]float64, len(names))
+	rt1 := e.Stats().RunTime
+	for i := range names {
+		i := i
+		builder := builders[i]
+		e.Submit(names[i]+"/sampled", func() error {
+			start := time.Now()
+			p, err := RunFig2SampledPass(builder, scfg, Fig2Intervals, opt.Reps, opt.Seed)
+			if err != nil {
+				return err
+			}
+			e.AddSim(p.Cycles, p.Instret)
+			wallNs[i] = float64(time.Since(start).Nanoseconds())
+			passes[i] = p
+			return nil
+		})
+	}
+	if err := e.Wait(); err != nil {
+		return nil, 0, 0, err
+	}
+	sampledTime = e.Stats().RunTime - rt1
+
+	rows = make([]SamplingRow, len(names))
+	for i, name := range names {
+		p := passes[i]
+		row := SamplingRow{
+			Program:   name,
+			ExactBase: cells[i].base.Mean(),
+			EstBase:   p.Estimate.Cycles,
+		}
+		for j := range Fig2Intervals {
+			row.ExactMon = append(row.ExactMon, cells[i].mon[j].Mean())
+			row.EstMon = append(row.EstMon, stats.Mean(p.MonCycles[j]))
+		}
+		rows[i] = row
+		opt.recordBench("Fig2Sampled/"+name, 1, wallNs[i], p.Estimate.Cycles)
+	}
+	return rows, exactTime, sampledTime, nil
+}
+
+// Sampling renders the sampled-simulation validation: per-cell
+// estimation error of the multiplexed pass against the exact fig2
+// grid, and the wall-clock speedup of replacing the grid with one
+// sampled pass per workload. Headline numbers land in the JSON report
+// as sampling_speedup / sampling_max_err_pct / sampling_mean_err_pct.
+func Sampling(opt ExpOptions) (string, error) {
+	rows, exactTime, sampledTime, err := SamplingData(opt)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sampled fig2: estimated vs exact full-run cycles (heap = 4x min)\n")
+	fmt.Fprintf(&b, "(one multiplexed sampled pass per workload hosts the baseline and all\n")
+	fmt.Fprintf(&b, " %d monitored lanes of the exact grid; error is est/exact - 1 per cell)\n",
+		len(Fig2Intervals)*opt.Reps)
+	fmt.Fprintf(&b, "%-11s %8s %8s %8s %8s %8s\n", "program",
+		"base", Fig2Labels[0], Fig2Labels[1], Fig2Labels[2], Fig2Labels[3])
+	var maxErr, sumErr float64
+	var worst string
+	cellLabels := append([]string{"base"}, Fig2Labels...)
+	ncells := 0
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s", r.Program)
+		for c, e := range r.Errs() {
+			fmt.Fprintf(&b, " %+7.2f%%", 100*e)
+			ae := e
+			if ae < 0 {
+				ae = -ae
+			}
+			sumErr += ae
+			ncells++
+			if ae > maxErr {
+				maxErr = ae
+				worst = r.Program + "/" + cellLabels[c]
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	meanErr := sumErr / float64(ncells)
+	speedup := float64(exactTime) / float64(sampledTime)
+	fmt.Fprintf(&b, "\nmean |error| %.2f%%, worst |error| %.2f%% (%s)\n",
+		100*meanErr, 100*maxErr, worst)
+	fmt.Fprintf(&b, "exact grid %v serial-equivalent, sampled passes %v -> %.1fx speedup\n",
+		exactTime.Round(time.Millisecond), sampledTime.Round(time.Millisecond), speedup)
+	opt.recordMetric("sampling_speedup", speedup)
+	opt.recordMetric("sampling_max_err_pct", 100*maxErr)
+	opt.recordMetric("sampling_mean_err_pct", 100*meanErr)
 	return b.String(), nil
 }
 

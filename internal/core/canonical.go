@@ -36,6 +36,12 @@ import (
 //     Consumers whose *response* shape depends on them (the serve
 //     layer returns obs metrics when asked) must fold them into their
 //     own key on top of Fingerprint.
+//   - Sampling is semantic, not passive: nil (exact) and non-nil
+//     (sampled) are different simulations — sampled cycle counts are
+//     estimates — so sampled runs hash to their own cache keys, with
+//     the config's zero fields resolved to defaults like every other
+//     sub-config. Sampled configs also never share a snapshot prefix
+//     (sampled systems refuse Snapshot).
 
 // canonicalIgnored lists the top-level Options fields excluded from
 // the canonical serialization, with the invariant that justifies each
@@ -108,6 +114,15 @@ func canonicalString(c Options) string {
 	for i := 0; i < t.NumField(); i++ {
 		name := t.Field(i).Name
 		if _, skip := canonicalIgnored[name]; skip {
+			continue
+		}
+		// A nil Sampling is omitted rather than serialized as
+		// "Sampling=nil": exact mode is the *absence* of the sampling
+		// subsystem, and omitting it keeps every pre-sampling exact
+		// fingerprint stable — snapshot identities, serve-cache keys and
+		// the golden corpus survive the field's introduction. Non-nil
+		// configs serialize in full and hash distinctly.
+		if name == "Sampling" && v.Field(i).IsNil() {
 			continue
 		}
 		appendCanonical(&b, name, v.Field(i))

@@ -8,6 +8,7 @@ import (
 	"hpmvm/internal/hw/cache"
 	"hpmvm/internal/monitor"
 	"hpmvm/internal/vm/aos"
+	"hpmvm/internal/vm/runtime"
 )
 
 // fullBase returns an Options value with every master switch on, so
@@ -105,6 +106,7 @@ func TestCanonicalDefaultEquivalence(t *testing.T) {
 	mdef := monitor.DefaultConfig()
 	cdef := coalloc.DefaultConfig()
 	adef := aos.DefaultConfig()
+	sdef := runtime.DefaultSamplingConfig()
 
 	// The wiring overwrites Auto and TrackFields from the top-level
 	// options, so differing values there are unreachable.
@@ -137,6 +139,9 @@ func TestCanonicalDefaultEquivalence(t *testing.T) {
 		{"monitoring knobs unreachable when monitoring off",
 			Options{},
 			Options{SamplingInterval: 12345, Event: cache.EventDTLBMiss, TrackFields: []string{"A::b"}}},
+		{"zero-value vs explicit-default sampling config",
+			Options{Sampling: &runtime.SamplingConfig{}},
+			Options{Sampling: &sdef}},
 	}
 	for _, tc := range cases {
 		if ha, hb := tc.a.Fingerprint(), tc.b.Fingerprint(); ha != hb {
@@ -151,6 +156,20 @@ func TestCanonicalDefaultEquivalence(t *testing.T) {
 	b := Options{Seed: 2}
 	if a.Fingerprint() == b.Fingerprint() {
 		t.Error("distinct seeds fingerprint identically")
+	}
+
+	// Sampling is semantic: exact (nil) and sampled (non-nil, even at
+	// defaults) are different simulations and must not share cache keys.
+	exact := Options{Seed: 1}
+	sampled := Options{Seed: 1, Sampling: &runtime.SamplingConfig{}}
+	if exact.Fingerprint() == sampled.Fingerprint() {
+		t.Error("exact and sampled runs fingerprint identically — the run cache would serve estimates as exact results")
+	}
+	coarse := runtime.DefaultSamplingConfig()
+	coarse.FFInstrs *= 2
+	sampledCoarse := Options{Seed: 1, Sampling: &coarse}
+	if sampled.Fingerprint() == sampledCoarse.Fingerprint() {
+		t.Error("distinct sampling schedules fingerprint identically")
 	}
 }
 

@@ -35,6 +35,7 @@ import (
 	"hpmvm/internal/kernel/perfmon"
 	"hpmvm/internal/monitor"
 	"hpmvm/internal/obs"
+	"hpmvm/internal/stats"
 	"hpmvm/internal/vm/aos"
 	"hpmvm/internal/vm/classfile"
 	"hpmvm/internal/vm/runtime"
@@ -88,6 +89,16 @@ type Options struct {
 	// pre-generated plan (§6.1).
 	Adaptive  bool
 	AOSConfig *aos.Config
+
+	// Sampling, when non-nil, runs the simulation in sampled mode:
+	// functional fast-forward alternating with detailed measured
+	// regions per the runtime.SamplingConfig schedule (zero fields
+	// select defaults). Architectural results are identical to an
+	// exact run; cycle counts and cache statistics become estimates,
+	// read via System.SamplingEstimate. A non-nil Sampling yields a
+	// Fingerprint distinct from every exact configuration, and sampled
+	// systems refuse Snapshot.
+	Sampling *runtime.SamplingConfig
 
 	// Seed drives the deterministic PRNG (interval randomization).
 	// Runs repeated with different seeds model the paper's "average
@@ -255,6 +266,16 @@ func NewSystemOpts(u *classfile.Universe, opts Options) (*System, error) {
 			acfg = *opts.AOSConfig
 		}
 		s.AOS = aos.New(s.VM, acfg)
+	}
+
+	if opts.Sampling != nil {
+		sam, err := s.VM.EnableSampling(*opts.Sampling)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if opts.Monitoring {
+			sam.SetSampleCounter(func() uint64 { return s.Unit.Stats().SamplesTaken })
+		}
 	}
 
 	if opts.Observe {
@@ -441,6 +462,18 @@ func (s *System) ResumeContext(ctx context.Context, maxCycles uint64) error {
 		s.Monitor.Flush()
 	}
 	return err
+}
+
+// SamplingEstimate extrapolates the full-run metrics of a sampled run
+// from its measured regions (Options.Sampling non-nil). ok is false on
+// an exact-mode system. Call after the run completes; a mid-run call
+// extrapolates from the regions measured so far.
+func (s *System) SamplingEstimate() (est stats.Estimate, ok bool) {
+	sam := s.VM.Sampler()
+	if sam == nil {
+		return stats.Estimate{}, false
+	}
+	return sam.Estimate(), true
 }
 
 // CoallocPairs returns the number of co-allocated pairs (0 when the

@@ -8,6 +8,7 @@ import (
 	"hpmvm/internal/hw/cache"
 	"hpmvm/internal/monitor"
 	"hpmvm/internal/vm/aos"
+	"hpmvm/internal/vm/runtime"
 )
 
 // ErrBadOptions is the sentinel wrapped by every Options validation
@@ -84,6 +85,13 @@ func WithAOSConfig(cfg aos.Config) Option {
 	}
 }
 
+// WithSampling enables sampled simulation with the given region
+// schedule (zero fields select the defaults in
+// runtime.DefaultSamplingConfig).
+func WithSampling(cfg runtime.SamplingConfig) Option {
+	return func(o *Options) { o.Sampling = &cfg }
+}
+
 // WithSeed sets the deterministic PRNG seed.
 func WithSeed(seed int64) Option {
 	return func(o *Options) { o.Seed = seed }
@@ -148,6 +156,10 @@ func (o Options) withDefaults() Options {
 	}
 	if o.HeapLimit == 0 {
 		o.HeapLimit = 64 * 1024 * 1024
+	}
+	if o.Sampling != nil {
+		scfg := o.Sampling.WithDefaults()
+		o.Sampling = &scfg
 	}
 	return o
 }

@@ -109,6 +109,13 @@ func (s *System) Snapshot() (*Snapshot, error) {
 	if !s.booted {
 		return nil, fmt.Errorf("core: snapshot of an unbooted system")
 	}
+	if s.Opts.Sampling != nil {
+		// The region scheduler's phase state is not a snapshot
+		// component, and sampled cycle counts are estimates a restored
+		// exact run could never line up with; sampled runs are cheap to
+		// redo by construction, so they opt out of the contract.
+		return nil, fmt.Errorf("core: snapshot of a sampled-simulation system is not supported")
+	}
 	comps := s.components()
 	sn := &Snapshot{
 		Version:           SnapshotVersion,

@@ -433,6 +433,18 @@ type Hierarchy struct {
 	// used to always pay); the mask resets whenever the set empties or
 	// is replaced. Host-side only, never serialized.
 	pfMask uint64
+
+	// functional, when set, switches Access to the fast-forward lane of
+	// sampled simulation (DESIGN.md §12): every access charges the flat
+	// flatCost and produces no stats, but the tag state (TLB, L1, L2,
+	// stream detector) keeps evolving exactly as in detailed mode and
+	// listener events still fire. This is SMARTS-style functional warming: a
+	// frozen cache feels no eviction pressure during fast-forward, so
+	// long-reuse-distance lines survive artificially and measured
+	// regions over-hit in L2 — warming keeps the state the next detailed
+	// region inherits faithful to the full access stream.
+	functional bool
+	flatCost   uint64
 }
 
 // New builds a hierarchy from cfg. It panics on an invalid config since
@@ -535,6 +547,22 @@ func (h *Hierarchy) Flush() {
 	h.pfMask = 0
 }
 
+// SetFunctional switches the hierarchy into functional fast-forward
+// mode: every Access returns flatCost and updates no stats, while tag
+// state keeps warming and listener events keep firing (see the
+// functional field). SetDetailed resumes cycle-exact timing from that
+// warmed state.
+func (h *Hierarchy) SetFunctional(flatCost uint64) {
+	h.functional = true
+	h.flatCost = flatCost
+}
+
+// SetDetailed returns the hierarchy to cycle-exact modeling.
+func (h *Hierarchy) SetDetailed() { h.functional = false }
+
+// Functional reports whether the hierarchy is in fast-forward mode.
+func (h *Hierarchy) Functional() bool { return h.functional }
+
 // Access simulates one demand access of the given size at addr and
 // returns the cycle cost. write distinguishes stores from loads.
 // Accesses are assumed not to cross a cache line (the CPU only issues
@@ -549,6 +577,10 @@ func (h *Hierarchy) Flush() {
 // is a nil check on the miss paths only (TestAccessFingerprint pins
 // the exact behavior).
 func (h *Hierarchy) Access(addr uint64, size int, write bool) uint64 {
+	if h.functional {
+		h.warmAccess(addr, write)
+		return h.flatCost
+	}
 	st := &h.stats
 	st.Accesses++
 	if write {
@@ -614,6 +646,45 @@ func (h *Hierarchy) Access(addr uint64, size int, write bool) uint64 {
 	return cycles
 }
 
+// warmAccess is the functional-warming state update: the same tag,
+// LRU, dirty-bit and prefetcher transitions as a detailed access, with
+// no cycle charges and no Stats counters. The set-internal LRU stamps
+// advance exactly as in detailed mode, so replacement decisions
+// downstream of a fast-forward match the ones a cycle-exact run would
+// have made. The prefetched-line attribution set is left alone — it
+// only feeds the PrefetchHits statistic, which is not measured during
+// fast-forward.
+//
+// Listener events ARE delivered: the misses are architecturally real
+// (the warmed tag state evolves exactly as the detailed lane's), and a
+// PEBS unit sampling the run must see the full event stream or its
+// sample counts — and everything downstream: monitor attribution,
+// adaptive interval control — would be biased by the measured fraction.
+// Unmonitored runs have a nil listener and skip the calls entirely.
+func (h *Hierarchy) warmAccess(addr uint64, write bool) {
+	if !h.tlb.probe(addr>>h.pageBits, false) {
+		h.tlb.fill(addr>>h.pageBits, false)
+		if h.listener != nil {
+			h.listener.HardwareEvent(EventDTLBMiss, addr)
+		}
+	}
+	lineAddr := addr >> h.lineBits
+	if h.l1.probe(lineAddr, write) {
+		return
+	}
+	h.l1.fill(lineAddr, write)
+	if h.listener != nil {
+		h.listener.HardwareEvent(EventL1Miss, addr)
+	}
+	if !h.l2.probe(lineAddr, write) {
+		h.l2.fill(lineAddr, write)
+		if h.listener != nil {
+			h.listener.HardwareEvent(EventL2Miss, addr)
+		}
+		h.trainPrefetcher(lineAddr)
+	}
+}
+
 // trainPrefetcher observes a memory-level miss and, on a detected
 // stream, prefetches the next line into L2 and L1. The prefetch is
 // charged no demand latency (it overlaps with the miss), matching the
@@ -677,6 +748,13 @@ func (h *Hierarchy) trainPrefetcher(lineAddr uint64) {
 func (h *Hierarchy) prefetchLine(lineAddr uint64) {
 	addr := lineAddr << h.lineBits
 	if h.l2.contains(addr) && h.l1.contains(addr) {
+		return
+	}
+	if h.functional {
+		// Warming lane: install the lines, skip the statistics and the
+		// prefetch-hit attribution set.
+		h.l2.lookup(addr, true, false)
+		h.l1.lookup(addr, true, false)
 		return
 	}
 	h.stats.Prefetches++

@@ -134,12 +134,23 @@ type Stats struct {
 	SamplesOther    uint64 // stacks, dispatch tables, code
 }
 
+// Clock is the cycle counter the monitor schedules against and charges
+// its own work to. A directly attached monitor uses the VM's CPU; a
+// multiplexed sampling lane (bench) substitutes a per-lane virtual
+// clock so many monitors can share one machine without charging each
+// other's overhead.
+type Clock interface {
+	Cycles() uint64
+	AddCycles(n uint64)
+}
+
 // Monitor is the collector thread. It implements runtime.Ticker; the
 // VM's execution loop invokes Tick in "kernel" mode at Deadline.
 type Monitor struct {
 	vm     *runtime.VM
 	module *perfmon.Module
 	cfg    Config
+	clock  Clock
 
 	buf      []pebs.Sample // the pre-allocated user-space array
 	deadline uint64
@@ -182,6 +193,7 @@ func New(vm *runtime.VM, module *perfmon.Module, cfg Config) *Monitor {
 		vm:            vm,
 		module:        module,
 		cfg:           cfg,
+		clock:         vm.CPU,
 		buf:           make([]pebs.Sample, cfg.BatchCapacity),
 		fields:        make(map[int]*FieldCounter),
 		methods:       make(map[int]*MethodCounter),
@@ -198,9 +210,20 @@ func New(vm *runtime.VM, module *perfmon.Module, cfg Config) *Monitor {
 	return m
 }
 
+// SetClock replaces the cycle source the monitor polls against and
+// charges into (default: the VM's CPU). Call before Attach or Arm.
+func (m *Monitor) SetClock(c Clock) { m.clock = c }
+
+// Arm initializes the poll deadline from the clock without registering
+// with the VM's ticker loop — multiplexed sampling lanes schedule their
+// own ticks through a translating wrapper.
+func (m *Monitor) Arm() {
+	m.deadline = m.clock.Cycles() + m.pollGap
+}
+
 // Attach registers the monitor with the VM's ticker loop.
 func (m *Monitor) Attach() {
-	m.deadline = m.vm.CPU.Cycles() + m.pollGap
+	m.Arm()
 	m.vm.AddTicker(m)
 }
 
@@ -243,7 +266,7 @@ func (m *Monitor) Flush() { m.Tick() }
 
 // Tick implements runtime.Ticker: one poll of the collector thread.
 func (m *Monitor) Tick() {
-	c := m.vm.CPU
+	c := m.clock
 	startCycles := c.Cycles()
 	m.st.Polls++
 

@@ -1,0 +1,64 @@
+package stats
+
+import "math"
+
+// Confidence-interval helpers. The benchmark harness reports means over
+// 3 executions and the sampled-simulation estimator extrapolates from a
+// few dozen measured regions; both are small-n settings where a normal
+// approximation understates the interval, so the 95% intervals here use
+// Student's t quantiles.
+
+// tTable95 holds the two-sided 95% t quantiles for 1..30 degrees of
+// freedom (t_{0.975,df}).
+var tTable95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TInv95 returns the two-sided 95% quantile of Student's t distribution
+// with df degrees of freedom (exact table for df <= 30, then a few
+// standard textbook rows, asymptoting to the normal 1.96). df < 1
+// returns the df=1 value: a one-sample interval is unbounded in theory,
+// but the callers below never ask (they emit a degenerate interval).
+func TInv95(df int) float64 {
+	switch {
+	case df < 1:
+		return tTable95[0]
+	case df <= len(tTable95):
+		return tTable95[df-1]
+	case df <= 40:
+		return 2.021
+	case df <= 60:
+		return 2.000
+	case df <= 120:
+		return 1.980
+	default:
+		return 1.960
+	}
+}
+
+// Interval is a mean with its two-sided 95% confidence interval.
+type Interval struct {
+	Mean   float64
+	StdDev float64 // sample standard deviation (n-1)
+	Half   float64 // half-width of the 95% CI; 0 when N < 2
+	Lo, Hi float64
+	N      int
+}
+
+// MeanCI95 returns the mean of xs with a t-distribution 95% confidence
+// interval. With fewer than two samples the interval is degenerate
+// (Half 0, Lo == Hi == Mean): there is no spread to estimate from.
+func MeanCI95(xs []float64) Interval {
+	iv := Interval{Mean: Mean(xs), N: len(xs)}
+	if len(xs) < 2 {
+		iv.Lo, iv.Hi = iv.Mean, iv.Mean
+		return iv
+	}
+	iv.StdDev = StdDev(xs)
+	iv.Half = TInv95(len(xs)-1) * iv.StdDev / math.Sqrt(float64(len(xs)))
+	iv.Lo = iv.Mean - iv.Half
+	iv.Hi = iv.Mean + iv.Half
+	return iv
+}

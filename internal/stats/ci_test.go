@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTInv95(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{0, 12.706}, // degenerate: clamped to df=1
+		{1, 12.706},
+		{2, 4.303},
+		{10, 2.228},
+		{30, 2.042},
+		{35, 2.021},
+		{50, 2.000},
+		{100, 1.980},
+		{1000, 1.960},
+	}
+	for _, c := range cases {
+		if got := TInv95(c.df); got != c.want {
+			t.Errorf("TInv95(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	// Monotone non-increasing in df: wider intervals for fewer samples.
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		q := TInv95(df)
+		if q > prev {
+			t.Fatalf("TInv95 increased at df=%d: %v > %v", df, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	// Degenerate inputs: no spread to estimate from.
+	for _, xs := range [][]float64{nil, {42}} {
+		iv := MeanCI95(xs)
+		if iv.Half != 0 || iv.Lo != iv.Mean || iv.Hi != iv.Mean {
+			t.Errorf("MeanCI95(%v) not degenerate: %+v", xs, iv)
+		}
+	}
+
+	// Hand-checked: n=4, mean 2.5, sample stddev ~1.29099,
+	// half-width = t(3) * s / sqrt(4) = 3.182 * 1.29099 / 2.
+	iv := MeanCI95([]float64{1, 2, 3, 4})
+	wantHalf := 3.182 * math.Sqrt(5.0/3.0) / 2
+	if math.Abs(iv.Mean-2.5) > 1e-9 || math.Abs(iv.Half-wantHalf) > 1e-6 {
+		t.Errorf("MeanCI95 = %+v, want mean 2.5 half %v", iv, wantHalf)
+	}
+	if !almostEq(iv.Lo, iv.Mean-iv.Half) || !almostEq(iv.Hi, iv.Mean+iv.Half) {
+		t.Errorf("interval endpoints inconsistent: %+v", iv)
+	}
+	if iv.N != 4 {
+		t.Errorf("N = %d, want 4", iv.N)
+	}
+
+	// Constant samples: zero-width interval around the value.
+	iv = MeanCI95([]float64{7, 7, 7})
+	if iv.Half != 0 || iv.Lo != 7 || iv.Hi != 7 {
+		t.Errorf("constant samples: %+v", iv)
+	}
+}
+
+func TestExtrapolate(t *testing.T) {
+	// Two regions at CPI 2 covering 200 of 1000 instructions, plus 500
+	// exactly-counted service cycles: estimate = 2*1000 + 500.
+	regions := []Region{
+		{StartInstret: 0, Instret: 100, Cycles: 210, ServiceCycles: 10, Accesses: 40, L1Misses: 4, L2Misses: 2, TLBMisses: 1, Samples: 3},
+		{StartInstret: 500, Instret: 100, Cycles: 200, Accesses: 60, L1Misses: 6, L2Misses: 4, TLBMisses: 1, Samples: 5},
+	}
+	est := Extrapolate(regions, 1000, 500)
+	if est.Regions != 2 || est.MeasuredInstret != 200 || est.TotalInstret != 1000 {
+		t.Fatalf("bookkeeping wrong: %+v", est)
+	}
+	if !almostEq(est.Cycles, 2500) {
+		t.Errorf("Cycles = %v, want 2500", est.Cycles)
+	}
+	// Both regions have CPI exactly 2 — degenerate interval.
+	if !almostEq(est.CPI.Mean, 2) || !almostEq(est.CyclesLo, est.CyclesHi) {
+		t.Errorf("CPI interval = %+v, CyclesLo/Hi = %v/%v", est.CPI, est.CyclesLo, est.CyclesHi)
+	}
+	// Counts scale by total/measured = 5x.
+	if !almostEq(est.Accesses, 500) || !almostEq(est.L1Misses, 50) ||
+		!almostEq(est.L2Misses, 30) || !almostEq(est.TLBMisses, 10) || !almostEq(est.Samples, 40) {
+		t.Errorf("scaled counts wrong: %+v", est)
+	}
+	if !almostEq(est.L1PKI.Mean, 50) { // (40 + 60)/2 per-region misses-per-kilo
+		t.Errorf("L1PKI = %+v, want mean 50", est.L1PKI)
+	}
+
+	// Unequal CPIs: the CI brackets the estimate and widens with spread.
+	regions[1].Cycles = 400
+	est = Extrapolate(regions, 1000, 500)
+	if est.CyclesLo >= est.Cycles || est.CyclesHi <= est.Cycles {
+		t.Errorf("CI does not bracket: [%v, %v] around %v", est.CyclesLo, est.CyclesHi, est.Cycles)
+	}
+
+	// No regions (or empty ones): degenerate to the service cycles.
+	for _, rs := range [][]Region{nil, {{StartInstret: 5}}} {
+		est := Extrapolate(rs, 1000, 500)
+		if !almostEq(est.Cycles, 500) || est.MeasuredInstret != 0 {
+			t.Errorf("Extrapolate(%v) = %+v, want degenerate 500", rs, est)
+		}
+	}
+}
+
+func TestRegionAppCyclesAndCPI(t *testing.T) {
+	r := Region{Instret: 100, Cycles: 250, ServiceCycles: 50}
+	if got := r.AppCycles(); got != 200 {
+		t.Errorf("AppCycles = %d, want 200", got)
+	}
+	if !almostEq(r.CPI(), 2) {
+		t.Errorf("CPI = %v, want 2", r.CPI())
+	}
+	// Service cycles can exceed slice cycles only through accounting
+	// skew at phase edges; clamp, never underflow.
+	r = Region{Instret: 10, Cycles: 5, ServiceCycles: 9}
+	if got := r.AppCycles(); got != 0 {
+		t.Errorf("AppCycles clamped = %d, want 0", got)
+	}
+	if (Region{}).CPI() != 0 {
+		t.Error("CPI of empty region should be 0")
+	}
+}

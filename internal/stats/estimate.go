@@ -1,0 +1,121 @@
+package stats
+
+// Sampled-simulation estimator: extrapolates full-run metrics from the
+// detailed regions a sampled run measured, in the style of periodic
+// region sampling (SMARTS/Pac-Sim). Each region contributes a
+// per-instruction rate; the estimator scales the instruction-weighted
+// rates to the run's exact total instruction count, which the
+// functional fast-forward executes architecturally and therefore counts
+// exactly. Cycles spent inside VM services (allocation and garbage
+// collection) are excluded from the region rates and added back as an
+// exactly measured total: collections are few and individually large
+// (up to a quarter of a run's cycles in one burst), far too bursty for
+// region sampling, so the sampler always runs them in the detailed lane
+// and accounts them directly.
+
+// Region is one measured detailed slice of a sampled run. All fields
+// are deltas over the measurement slice except StartInstret, which
+// places the slice in the run.
+type Region struct {
+	StartInstret  uint64 // instruction count at slice start
+	Instret       uint64 // instructions retired in the slice
+	Cycles        uint64 // cycles elapsed in the slice
+	ServiceCycles uint64 // allocation/GC service cycles within the slice
+	Accesses      uint64 // demand memory accesses
+	L1Misses      uint64
+	L2Misses      uint64
+	TLBMisses     uint64
+	Samples       uint64 // PEBS samples captured (monitored runs only)
+}
+
+// AppCycles returns the slice's cycles net of VM service work: the
+// application-and-monitoring cost the estimator extrapolates.
+func (r Region) AppCycles() uint64 {
+	if r.ServiceCycles > r.Cycles {
+		return 0
+	}
+	return r.Cycles - r.ServiceCycles
+}
+
+// CPI returns the slice's application cycles per instruction.
+func (r Region) CPI() float64 {
+	if r.Instret == 0 {
+		return 0
+	}
+	return float64(r.AppCycles()) / float64(r.Instret)
+}
+
+// Estimate is the extrapolated full-run picture of a sampled run.
+// Point estimates use instruction-weighted region rates; the cycle
+// confidence interval comes from the unweighted spread of per-region
+// CPI values via Student's t (see MeanCI95), so few-region runs report
+// honestly wide intervals.
+type Estimate struct {
+	Regions         int
+	MeasuredInstret uint64 // instructions inside measured slices
+	TotalInstret    uint64 // exact full-run instruction count
+	ServiceCycles   uint64 // exact alloc+GC cycles, counted outside the regions
+
+	CPI    Interval // per-region application CPI with 95% CI
+	Cycles float64  // extrapolated full-run cycle count
+	CyclesLo, CyclesHi float64 // 95% CI on Cycles
+
+	Accesses  float64 // extrapolated demand accesses
+	L1Misses  float64
+	L2Misses  float64
+	TLBMisses float64
+	Samples   float64 // extrapolated PEBS sample count
+
+	L1PKI Interval // per-region L1 misses per kilo-instruction, 95% CI
+}
+
+// Extrapolate builds the full-run estimate from measured regions, the
+// run's exact total instruction count, and its exactly measured VM
+// service cycles. With no regions the estimate degenerates to the
+// service cycles alone.
+func Extrapolate(regions []Region, totalInstret, serviceCycles uint64) Estimate {
+	est := Estimate{
+		Regions:       len(regions),
+		TotalInstret:  totalInstret,
+		ServiceCycles: serviceCycles,
+		Cycles:        float64(serviceCycles),
+		CyclesLo:      float64(serviceCycles),
+		CyclesHi:      float64(serviceCycles),
+	}
+	var instret, appCycles, acc, l1, l2, tlb, samples uint64
+	cpis := make([]float64, 0, len(regions))
+	l1pkis := make([]float64, 0, len(regions))
+	for _, r := range regions {
+		if r.Instret == 0 {
+			continue
+		}
+		instret += r.Instret
+		appCycles += r.AppCycles()
+		acc += r.Accesses
+		l1 += r.L1Misses
+		l2 += r.L2Misses
+		tlb += r.TLBMisses
+		samples += r.Samples
+		cpis = append(cpis, r.CPI())
+		l1pkis = append(l1pkis, 1000*float64(r.L1Misses)/float64(r.Instret))
+	}
+	if instret == 0 {
+		return est
+	}
+	est.MeasuredInstret = instret
+	est.CPI = MeanCI95(cpis)
+	est.L1PKI = MeanCI95(l1pkis)
+
+	total := float64(totalInstret)
+	scale := total / float64(instret)
+	wcpi := float64(appCycles) / float64(instret)
+	est.Cycles = wcpi*total + float64(serviceCycles)
+	est.CyclesLo = est.Cycles - est.CPI.Half*total
+	est.CyclesHi = est.Cycles + est.CPI.Half*total
+	est.Accesses = float64(acc) * scale
+	est.L1Misses = float64(l1) * scale
+	est.L2Misses = float64(l2) * scale
+	est.TLBMisses = float64(tlb) * scale
+	est.Samples = float64(samples) * scale
+	return est
+}

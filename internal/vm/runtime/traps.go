@@ -66,7 +66,17 @@ func (vm *VM) allocate(cl *classfile.Class, size, arrayLen uint64) uint64 {
 		vm.fail("allocation with no collector configured")
 		return 0
 	}
+	// In sampled mode the allocation (and any collection inside it)
+	// runs bracketed: the detailed lane is forced on and the cycles are
+	// accounted exactly rather than sampled (see Sampler.serviceBegin).
+	s := vm.sampler
+	if s != nil {
+		s.serviceBegin()
+	}
 	addr := vm.Collector.Alloc(size)
+	if s != nil {
+		s.serviceEnd()
+	}
 	if addr == 0 {
 		vm.fail("out of memory allocating %d bytes of %s (heap limit %d)",
 			size, cl.Name, vm.Collector.HeapLimit())

@@ -67,6 +67,12 @@ type VM struct {
 
 	tickers []Ticker
 
+	// sampler, when non-nil, switches the run loop into sampled
+	// simulation: functional fast-forward alternating with detailed
+	// measured regions (see sampling.go). Exact-mode runs never touch
+	// it beyond one nil check per scheduling round.
+	sampler *Sampler
+
 	// cancel, when non-nil, is polled from the run loop at safepoint
 	// granularity (see CancelCheckCycles); a non-nil return aborts the
 	// run with that error. Installed by core.System.RunContext.
@@ -260,7 +266,13 @@ func (vm *VM) run(maxCycles, pauseAt uint64) (bool, error) {
 		// Nothing non-local can fire before next (ticker deadlines,
 		// cycle budget, pause point, cancel safepoint all folded in), so
 		// let the CPU run unchecked to that horizon in its fast path.
-		c.RunCycles(next)
+		// In sampled mode the region scheduler drives the CPU instead,
+		// with identical horizon semantics.
+		if vm.sampler != nil {
+			vm.sampler.advance(next)
+		} else {
+			c.RunCycles(next)
+		}
 		if c.Halted() {
 			break
 		}
@@ -274,6 +286,45 @@ func (vm *VM) run(maxCycles, pauseAt uint64) (bool, error) {
 		}
 	}
 	return false, vm.failure
+}
+
+// RunToInstret executes until the retired-instruction counter reaches
+// target (or the program halts), firing tickers exactly as Run would.
+// Stopping is at an instruction boundary, not a scheduling point, so
+// the machine state equals the uninterrupted run's state at the same
+// instruction — the keystone sampled-vs-exact tests use this to walk
+// an exact-mode machine to the instruction boundaries of a sampled
+// run's measured regions. Exact mode only: in sampled mode the region
+// scheduler owns instruction accounting.
+func (vm *VM) RunToInstret(target uint64) error {
+	if !vm.started {
+		return fmt.Errorf("runtime: RunToInstret before Start")
+	}
+	if vm.sampler != nil {
+		return fmt.Errorf("runtime: RunToInstret on a sampled-mode VM")
+	}
+	c := vm.CPU
+	for !c.Halted() && c.Instret() < target {
+		next := ^uint64(0)
+		for _, t := range vm.tickers {
+			if d := t.Deadline(); d < next {
+				next = d
+			}
+		}
+		c.RunBounded(next, target-c.Instret())
+		if c.Halted() {
+			break
+		}
+		now := c.Cycles()
+		for _, t := range vm.tickers {
+			if t.Deadline() <= now {
+				c.SetUserMode(false)
+				t.Tick()
+				c.SetUserMode(true)
+			}
+		}
+	}
+	return vm.failure
 }
 
 // Cycles returns the simulated execution time so far.
