@@ -6,8 +6,16 @@
 //
 //	hpmvmd -addr :8080
 //	curl -s -X POST -d '{"workload":"db","seed":1}' localhost:8080/run
+//	curl -s -X POST -d '{"workload":"db","seed":1,"sampled":true}' localhost:8080/run
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/statsz
+//
+// A sampled=true request runs the two-lane sampled simulator on the
+// workload's calibrated region schedule and answers with an
+// "estimated" block — extrapolated full-run metrics with 95%
+// confidence intervals — cached under its own key, never aliasing the
+// exact result. It cannot be combined with warm_start_cycles (sampled
+// systems refuse Snapshot; the server answers 400).
 //
 // Endpoints:
 //

@@ -7,7 +7,6 @@ import (
 
 	"hpmvm/internal/core"
 	"hpmvm/internal/stats"
-	"hpmvm/internal/vm/runtime"
 )
 
 // This file implements the regeneration of every table and figure of
@@ -17,7 +16,7 @@ import (
 // paper-vs-measured values.
 
 // Experiment names accepted by RunExperiment.
-var ExperimentNames = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablations", "warmstart", "sampling"}
+var ExperimentNames = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablations", "warmstart", "sampling", "sampling-fig5"}
 
 // Options tunes experiment execution.
 type ExpOptions struct {
@@ -134,6 +133,8 @@ func RunExperiment(name string, opt ExpOptions) (string, error) {
 		return Warmstart(opt)
 	case "sampling":
 		return Sampling(opt)
+	case "sampling-fig5":
+		return SamplingFig5(opt)
 	default:
 		return "", fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(ExperimentNames, ", "))
 	}
@@ -441,12 +442,13 @@ func (r SamplingRow) Errs() []float64 {
 }
 
 // SamplingData runs the full fig2 grid twice — exactly, and as one
-// multiplexed sampled pass per workload (see RunFig2SampledPass) — and
+// multiplexed sampled pass per workload (see RunSampledPass) — and
 // returns the per-cell comparison plus the serial-equivalent wall
 // clock each half consumed. The exact grid is (1 baseline + 4
 // intervals) × reps runs per workload; the sampled half is a single
 // pass per workload hosting all of them as lanes, which is where the
-// wall-clock speedup comes from.
+// wall-clock speedup comes from. Each pass runs the workload's
+// calibrated schedule (see CalibratedSampling).
 func SamplingData(opt ExpOptions) (rows []SamplingRow, exactTime, sampledTime time.Duration, err error) {
 	e := opt.engine()
 	names, builders, err := opt.builders()
@@ -475,9 +477,9 @@ func SamplingData(opt ExpOptions) (rows []SamplingRow, exactTime, sampledTime ti
 	}
 	exactTime = e.Stats().RunTime - rt0
 
-	// Round 2: one multiplexed sampled pass per workload.
-	scfg := runtime.DefaultSamplingConfig()
-	passes := make([]*Fig2SampledPass, len(names))
+	// Round 2: one multiplexed sampled pass per workload, each on its
+	// calibrated schedule.
+	passes := make([]*SampledPass, len(names))
 	wallNs := make([]float64, len(names))
 	rt1 := e.Stats().RunTime
 	for i := range names {
@@ -485,7 +487,7 @@ func SamplingData(opt ExpOptions) (rows []SamplingRow, exactTime, sampledTime ti
 		builder := builders[i]
 		e.Submit(names[i]+"/sampled", func() error {
 			start := time.Now()
-			p, err := RunFig2SampledPass(builder, scfg, Fig2Intervals, opt.Reps, opt.Seed)
+			p, err := RunSampledPass(builder, RunConfig{Seed: opt.Seed}, Fig2Intervals, opt.Reps)
 			if err != nil {
 				return err
 			}
@@ -565,6 +567,170 @@ func Sampling(opt ExpOptions) (string, error) {
 	opt.recordMetric("sampling_speedup", speedup)
 	opt.recordMetric("sampling_max_err_pct", 100*maxErr)
 	opt.recordMetric("sampling_mean_err_pct", 100*meanErr)
+	return b.String(), nil
+}
+
+// --- Sampled fig5: estimated vs exact across heap sizes -----------------------
+
+// SamplingFig5Row is one program's estimated-vs-exact comparison
+// across the fig5 heap-size axis, in cycles: exact baseline and
+// monitored (auto interval) means next to the sampled pass's
+// estimates, per heap factor (Fig5Factors order).
+type SamplingFig5Row struct {
+	Program   string
+	ExactBase []float64
+	EstBase   []float64
+	ExactMon  []float64
+	EstMon    []float64
+}
+
+// Errs returns the signed relative estimation error of every cell:
+// for each heap factor, baseline then monitored.
+func (r SamplingFig5Row) Errs() []float64 {
+	var errs []float64
+	for j := range r.ExactBase {
+		errs = append(errs, r.EstBase[j]/r.ExactBase[j]-1, r.EstMon[j]/r.ExactMon[j]-1)
+	}
+	return errs
+}
+
+// SamplingFig5Data runs the fig5 heap-size axis twice — exactly
+// (baseline + monitored-auto, reps each, per heap point) and as one
+// multiplexed sampled pass per heap point hosting the baseline plus
+// reps monitored-auto lanes — and returns the per-cell comparison plus
+// the serial-equivalent wall clock of each half.
+//
+// The sampled half covers fig5's heap-size axis with monitoring, not
+// fig5's co-allocation configuration: co-allocation cannot ride a
+// lane. Its whole point is feeding samples back into GC placement
+// decisions, which changes object addresses and therefore the shared
+// cache-state evolution — it is a different architectural stream, not
+// an overhead on a shared one (DESIGN.md §12). Monitoring, by
+// contract, only adds cycles.
+func SamplingFig5Data(opt ExpOptions) (rows []SamplingFig5Row, exactTime, sampledTime time.Duration, err error) {
+	e := opt.engine()
+	names, builders, err := opt.builders()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+
+	// Round 1: the exact grid — baseline and monitored-auto, per point.
+	type cell struct{ base, mon *RepeatHandle }
+	rt0 := e.Stats().RunTime
+	cells := make([][]cell, len(names))
+	for i, name := range names {
+		builder := builders[i]
+		cells[i] = make([]cell, len(Fig5Factors))
+		for j, f := range Fig5Factors {
+			label := fmt.Sprintf("%s/%gx", name, f)
+			cells[i][j].base = e.RepeatAsync(builder,
+				RunConfig{HeapFactor: f, Seed: opt.Seed}, opt.Reps, label+"/exact-base")
+			cells[i][j].mon = e.RepeatAsync(builder,
+				RunConfig{HeapFactor: f, Monitoring: true, Seed: opt.Seed}, opt.Reps, label+"/exact-auto")
+		}
+	}
+	if err := e.Wait(); err != nil {
+		return nil, 0, 0, err
+	}
+	exactTime = e.Stats().RunTime - rt0
+
+	// Round 2: one sampled pass per (workload × heap point) with reps
+	// auto-interval lanes, on the workload's calibrated schedule.
+	passes := make([][]*SampledPass, len(names))
+	rt1 := e.Stats().RunTime
+	for i := range names {
+		i := i
+		builder := builders[i]
+		passes[i] = make([]*SampledPass, len(Fig5Factors))
+		for j, f := range Fig5Factors {
+			j, f := j, f
+			e.Submit(fmt.Sprintf("%s/%gx/sampled", names[i], f), func() error {
+				p, err := RunSampledPass(builder,
+					RunConfig{HeapFactor: f, Seed: opt.Seed}, []uint64{0}, opt.Reps)
+				if err != nil {
+					return err
+				}
+				e.AddSim(p.Cycles, p.Instret)
+				passes[i][j] = p
+				return nil
+			})
+		}
+	}
+	if err := e.Wait(); err != nil {
+		return nil, 0, 0, err
+	}
+	sampledTime = e.Stats().RunTime - rt1
+
+	rows = make([]SamplingFig5Row, len(names))
+	for i, name := range names {
+		row := SamplingFig5Row{Program: name}
+		for j := range Fig5Factors {
+			p := passes[i][j]
+			row.ExactBase = append(row.ExactBase, cells[i][j].base.Mean())
+			row.EstBase = append(row.EstBase, p.Estimate.Cycles)
+			row.ExactMon = append(row.ExactMon, cells[i][j].mon.Mean())
+			row.EstMon = append(row.EstMon, stats.Mean(p.MonCycles[0]))
+		}
+		rows[i] = row
+	}
+	return rows, exactTime, sampledTime, nil
+}
+
+// SamplingFig5 renders the sampled heap-size sweep validation: per-cell
+// estimation error of the sampled passes against the exact grid, and
+// the wall-clock speedup of replacing each heap point's 2×reps exact
+// runs with one multiplexed pass. Headline numbers land in the JSON
+// report as sampling_fig5_speedup / sampling_fig5_max_err_pct /
+// sampling_fig5_mean_err_pct.
+func SamplingFig5(opt ExpOptions) (string, error) {
+	rows, exactTime, sampledTime, err := SamplingFig5Data(opt)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sampled fig5: estimated vs exact full-run cycles across heap sizes\n")
+	fmt.Fprintf(&b, "(per heap point, one multiplexed sampled pass hosts the baseline and %d\n", opt.Reps)
+	fmt.Fprintf(&b, " monitored-auto lanes, replacing %d exact runs; co-allocation cannot be\n", 2*opt.Reps)
+	fmt.Fprintf(&b, " multiplexed — its feedback changes the architectural stream — so the\n")
+	fmt.Fprintf(&b, " sampled sweep covers the monitored heap-size axis; error per cell, b=base m=monitored)\n")
+	fmt.Fprintf(&b, "%-11s", "program")
+	for _, f := range Fig5Factors {
+		fmt.Fprintf(&b, " %8s %8s", fmt.Sprintf("%gx b", f), fmt.Sprintf("%gx m", f))
+	}
+	fmt.Fprintln(&b)
+	var maxErr, sumErr float64
+	var worst string
+	ncells := 0
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s", r.Program)
+		for c, e := range r.Errs() {
+			fmt.Fprintf(&b, " %+7.2f%%", 100*e)
+			ae := e
+			if ae < 0 {
+				ae = -ae
+			}
+			sumErr += ae
+			ncells++
+			if ae > maxErr {
+				maxErr = ae
+				kind := "base"
+				if c%2 == 1 {
+					kind = "mon"
+				}
+				worst = fmt.Sprintf("%s/%gx/%s", r.Program, Fig5Factors[c/2], kind)
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	meanErr := sumErr / float64(ncells)
+	speedup := float64(exactTime) / float64(sampledTime)
+	fmt.Fprintf(&b, "\nmean |error| %.2f%%, worst |error| %.2f%% (%s)\n",
+		100*meanErr, 100*maxErr, worst)
+	fmt.Fprintf(&b, "exact grid %v serial-equivalent, sampled passes %v -> %.1fx speedup\n",
+		exactTime.Round(time.Millisecond), sampledTime.Round(time.Millisecond), speedup)
+	opt.recordMetric("sampling_fig5_speedup", speedup)
+	opt.recordMetric("sampling_fig5_max_err_pct", 100*maxErr)
+	opt.recordMetric("sampling_fig5_mean_err_pct", 100*meanErr)
 	return b.String(), nil
 }
 

@@ -1,9 +1,10 @@
 package bench
 
-// Multiplexed sampled fig2: one shared sampled simulation per workload
-// hosts the unmonitored baseline and every monitored (interval × rep)
-// configuration of the fig2 grid as virtual "lanes", replacing ~15
-// exact runs with a single pass.
+// Multiplexed sampled passes: one shared sampled simulation per
+// workload hosts the unmonitored baseline and every monitored
+// (interval × rep) configuration of a grid cell as virtual "lanes",
+// replacing ~15 exact runs (fig2) or ~6 per heap point (sampling-fig5)
+// with a single pass.
 //
 // The trick is that monitoring never changes the architecture — a
 // monitored run retires the identical instruction stream and identical
@@ -40,7 +41,6 @@ import (
 	"hpmvm/internal/kernel/perfmon"
 	"hpmvm/internal/monitor"
 	"hpmvm/internal/stats"
-	"hpmvm/internal/vm/runtime"
 )
 
 // laneClock is one lane's virtual cycle counter: shared CPU time plus
@@ -52,11 +52,11 @@ type laneClock struct {
 	off uint64 // cycles of monitoring overhead this lane has accrued
 }
 
-func (c *laneClock) SamplePC() uint64                      { return c.cpu.SamplePC() }
-func (c *laneClock) SampleRegs(dst *[pebs.NumRegs]uint64)  { c.cpu.SampleRegs(dst) }
-func (c *laneClock) CycleCount() uint64                    { return c.cpu.CycleCount() + c.off }
-func (c *laneClock) Cycles() uint64                        { return c.cpu.Cycles() + c.off }
-func (c *laneClock) AddCycles(n uint64)                    { c.off += n }
+func (c *laneClock) SamplePC() uint64                     { return c.cpu.SamplePC() }
+func (c *laneClock) SampleRegs(dst *[pebs.NumRegs]uint64) { c.cpu.SampleRegs(dst) }
+func (c *laneClock) CycleCount() uint64                   { return c.cpu.CycleCount() + c.off }
+func (c *laneClock) Cycles() uint64                       { return c.cpu.Cycles() + c.off }
+func (c *laneClock) AddCycles(n uint64)                   { c.off += n }
 
 // fanoutListener gates hardware events on CPU privilege mode (like
 // core's userFilter) and forwards each to every lane's PEBS unit.
@@ -102,16 +102,17 @@ type sampledLane struct {
 	mon      *monitor.Monitor
 }
 
-// Fig2SampledPass is the result of one multiplexed sampled pass.
-type Fig2SampledPass struct {
+// SampledPass is the result of one multiplexed sampled pass.
+type SampledPass struct {
 	Program string
 	// Estimate is the shared pass's extrapolation: the unmonitored
 	// baseline picture (the lanes' overhead never touches the shared
 	// cycle counter).
 	Estimate stats.Estimate
 	// MonCycles[j][r] is the estimated full-run cycle count of the lane
-	// for interval j (Fig2Intervals order), repetition r: baseline
-	// estimate plus the lane's exactly-counted monitoring overhead.
+	// for interval j (in the order given to RunSampledPass), repetition
+	// r: baseline estimate plus the lane's exactly-counted monitoring
+	// overhead.
 	MonCycles [][]float64
 	// Cycles and Instret are the pass's raw simulated volume (the
 	// distorted sampled clock), for engine throughput accounting.
@@ -119,15 +120,27 @@ type Fig2SampledPass struct {
 	Instret uint64
 }
 
-// RunFig2SampledPass executes one multiplexed sampled pass for the
-// workload: a single sampled simulation hosting the unmonitored
-// baseline plus one monitored lane per (interval × rep) cell of the
-// fig2 grid. Lane rep seeds follow the exact grid's convention
-// (seed + rep*7919, see RepeatAsync), so lane r samples with the same
-// PRNG stream as exact repetition r.
-func RunFig2SampledPass(b Builder, scfg runtime.SamplingConfig, intervals []uint64, reps int, seed int64) (*Fig2SampledPass, error) {
+// RunSampledPass executes one multiplexed sampled pass for the
+// workload: a single sampled simulation under base (which must not
+// itself enable monitoring or co-allocation — those change the shared
+// architectural stream) hosting the unmonitored baseline plus one
+// monitored lane per (interval × rep) cell. base.Sampling selects the
+// region schedule (nil = the workload's calibrated schedule); heap
+// sizing, seed and cycle budget apply to the shared pass. Lane rep
+// seeds follow the exact grid's convention (seed + rep*7919, see
+// RepeatAsync), so lane r samples with the same PRNG stream as exact
+// repetition r.
+func RunSampledPass(b Builder, base RunConfig, intervals []uint64, reps int) (*SampledPass, error) {
 	prog := b()
-	sys, _, err := buildSystem(prog, RunConfig{Seed: seed, Sampling: &scfg})
+	if base.Monitoring || base.Coalloc {
+		return nil, fmt.Errorf("bench: %s: sampled pass base config cannot monitor or co-allocate — lanes carry the monitoring, and co-allocation feedback would change the shared architectural stream", prog.Name)
+	}
+	if base.Sampling == nil {
+		scfg := CalibratedSampling(prog.Name)
+		base.Sampling = &scfg
+	}
+	seed := base.Seed
+	sys, _, err := buildSystem(prog, base)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +159,7 @@ func RunFig2SampledPass(b Builder, scfg runtime.SamplingConfig, intervals []uint
 	}
 	sys.VM.Hier.SetListener(&fanoutListener{cpu: sys.VM.CPU, units: units})
 
-	if err := sys.Run(prog.Entry, 0); err != nil {
+	if err := sys.Run(prog.Entry, base.MaxCycles); err != nil {
 		return nil, fmt.Errorf("bench: %s: sampled pass: %w", prog.Name, err)
 	}
 	if prog.Expected != nil {
@@ -165,7 +178,7 @@ func RunFig2SampledPass(b Builder, scfg runtime.SamplingConfig, intervals []uint
 	if !ok {
 		return nil, fmt.Errorf("bench: %s: sampled pass produced no estimate", prog.Name)
 	}
-	pass := &Fig2SampledPass{
+	pass := &SampledPass{
 		Program:  prog.Name,
 		Estimate: est,
 		Cycles:   sys.VM.Cycles(),

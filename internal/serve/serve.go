@@ -35,6 +35,7 @@ import (
 	"hpmvm/internal/hw/cache"
 	"hpmvm/internal/monitor"
 	"hpmvm/internal/obs"
+	"hpmvm/internal/stats"
 )
 
 // ErrQueueFull is the sentinel returned (and mapped to HTTP 429) when
@@ -238,6 +239,15 @@ type Request struct {
 	// the X-Hpmvmd-Snapshot header differ. Must be below max_cycles
 	// when a cycle budget is set.
 	WarmStartCycles uint64 `json:"warm_start_cycles,omitempty"`
+	// Sampled runs the two-lane sampled simulator (on the workload's
+	// calibrated region schedule) instead of the cycle-exact one: the
+	// response gains an Estimated block — extrapolated full-run metrics
+	// with 95% confidence intervals — while Cycles and the cache stats
+	// then report the sampled run's own distorted counters. A sampled
+	// simulation is a different simulation, so it caches under its own
+	// key, never aliasing the exact result. Incompatible with
+	// warm_start_cycles: sampled systems refuse Snapshot.
+	Sampled bool `json:"sampled,omitempty"`
 }
 
 // RunResponse is the JSON body of a successful /run. Identical
@@ -265,6 +275,14 @@ type RunResponse struct {
 
 	Monitor      *monitor.Stats `json:"monitor,omitempty"`
 	SamplesTaken uint64         `json:"samples_taken"`
+
+	// Sampled and Estimated are set iff the request asked for a sampled
+	// run: Estimated carries the extrapolated full-run point estimates
+	// with their 95% confidence intervals, and the exact-looking fields
+	// above (Cycles, CPI, cache_stats) hold the sampled run's own
+	// distorted counters — read Estimated instead.
+	Sampled   bool            `json:"sampled,omitempty"`
+	Estimated *stats.Estimate `json:"estimated,omitempty"`
 
 	Obs *obs.Metrics `json:"obs,omitempty"`
 }
@@ -310,6 +328,16 @@ func (s *Server) resolve(req Request) (resolved, error) {
 		TrackFields: req.TrackFields,
 		Observe:     req.Observe,
 	}
+	if req.Sampled {
+		if req.WarmStartCycles > 0 {
+			// Reject up front rather than surfacing core's late Snapshot
+			// refusal as a 500: sampled systems cannot checkpoint, so a
+			// sampled warm start is a contradiction in the request.
+			return r, fmt.Errorf("serve: %w: sampled=true cannot be combined with warm_start_cycles (sampled systems refuse Snapshot)", core.ErrBadOptions)
+		}
+		scfg := bench.CalibratedSampling(meta.name)
+		cfg.Sampling = &scfg
+	}
 	switch strings.ToLower(req.Collector) {
 	case "", "genms":
 		cfg.Collector = core.GenMS
@@ -332,6 +360,14 @@ func (s *Server) resolve(req Request) (resolved, error) {
 	opts := cfg.Resolve(meta.minHeap, meta.hotField)
 	if err := opts.Validate(); err != nil {
 		return r, err
+	}
+	// Invariant, not a reachable request path today: sampling may only
+	// enter the options through the sampled=true branch above. A future
+	// field that smuggled Options.Sampling in any other way would run
+	// two-lane and cache hybrid non-exact metrics as if they were exact
+	// — fail loudly instead.
+	if opts.Sampling != nil && !req.Sampled {
+		return r, fmt.Errorf("serve: %w: sampling configured outside the sampled=true path", core.ErrBadOptions)
 	}
 	if req.WarmStartCycles > 0 {
 		if cfg.MaxCycles != 0 && req.WarmStartCycles >= cfg.MaxCycles {
@@ -583,6 +619,10 @@ func marshalResponse(res resolved, r *bench.Result) ([]byte, error) {
 	if res.opts.Monitoring {
 		ms := r.MonitorStats
 		resp.Monitor = &ms
+	}
+	if res.opts.Sampling != nil {
+		resp.Sampled = true
+		resp.Estimated = r.Estimated
 	}
 	body, err := json.Marshal(resp)
 	if err != nil {

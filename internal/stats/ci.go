@@ -38,13 +38,16 @@ func TInv95(df int) float64 {
 	}
 }
 
-// Interval is a mean with its two-sided 95% confidence interval.
+// Interval is a mean with its two-sided 95% confidence interval. The
+// JSON tags are part of the serve layer's sampled-response contract
+// (it embeds Intervals via stats.Estimate).
 type Interval struct {
-	Mean   float64
-	StdDev float64 // sample standard deviation (n-1)
-	Half   float64 // half-width of the 95% CI; 0 when N < 2
-	Lo, Hi float64
-	N      int
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"std_dev"` // sample standard deviation (n-1)
+	Half   float64 `json:"half"`    // half-width of the 95% CI; 0 when N < 2
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	N      int     `json:"n"`
 }
 
 // MeanCI95 returns the mean of xs with a t-distribution 95% confidence

@@ -49,24 +49,26 @@ func (r Region) CPI() float64 {
 // Point estimates use instruction-weighted region rates; the cycle
 // confidence interval comes from the unweighted spread of per-region
 // CPI values via Student's t (see MeanCI95), so few-region runs report
-// honestly wide intervals.
+// honestly wide intervals. The JSON tags are the serve layer's wire
+// contract: a sampled /run response embeds the Estimate verbatim.
 type Estimate struct {
-	Regions         int
-	MeasuredInstret uint64 // instructions inside measured slices
-	TotalInstret    uint64 // exact full-run instruction count
-	ServiceCycles   uint64 // exact alloc+GC cycles, counted outside the regions
+	Regions         int    `json:"regions"`
+	MeasuredInstret uint64 `json:"measured_instret"` // instructions inside measured slices
+	TotalInstret    uint64 `json:"total_instret"`    // exact full-run instruction count
+	ServiceCycles   uint64 `json:"service_cycles"`   // exact alloc+GC cycles, counted outside the regions
 
-	CPI    Interval // per-region application CPI with 95% CI
-	Cycles float64  // extrapolated full-run cycle count
-	CyclesLo, CyclesHi float64 // 95% CI on Cycles
+	CPI      Interval `json:"cpi"`       // per-region application CPI with 95% CI
+	Cycles   float64  `json:"cycles"`    // extrapolated full-run cycle count
+	CyclesLo float64  `json:"cycles_lo"` // 95% CI on Cycles
+	CyclesHi float64  `json:"cycles_hi"`
 
-	Accesses  float64 // extrapolated demand accesses
-	L1Misses  float64
-	L2Misses  float64
-	TLBMisses float64
-	Samples   float64 // extrapolated PEBS sample count
+	Accesses  float64 `json:"accesses"` // extrapolated demand accesses
+	L1Misses  float64 `json:"l1_misses"`
+	L2Misses  float64 `json:"l2_misses"`
+	TLBMisses float64 `json:"tlb_misses"`
+	Samples   float64 `json:"samples"` // extrapolated PEBS sample count
 
-	L1PKI Interval // per-region L1 misses per kilo-instruction, 95% CI
+	L1PKI Interval `json:"l1_pki"` // per-region L1 misses per kilo-instruction, 95% CI
 }
 
 // Extrapolate builds the full-run estimate from measured regions, the
@@ -112,6 +114,13 @@ func Extrapolate(regions []Region, totalInstret, serviceCycles uint64) Estimate 
 	est.Cycles = wcpi*total + float64(serviceCycles)
 	est.CyclesLo = est.Cycles - est.CPI.Half*total
 	est.CyclesHi = est.Cycles + est.CPI.Half*total
+	// A few wildly spread regions can push the lower bound below the
+	// exactly measured service cycles — a count the run can never finish
+	// under (it was already spent). Clamp rather than report the
+	// impossible interval.
+	if est.CyclesLo < float64(serviceCycles) {
+		est.CyclesLo = float64(serviceCycles)
+	}
 	est.Accesses = float64(acc) * scale
 	est.L1Misses = float64(l1) * scale
 	est.L2Misses = float64(l2) * scale

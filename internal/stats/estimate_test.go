@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestExtrapolateCyclesLoClamp is the regression test for the CI lower
+// bound: two regions with wildly different CPIs produce a t-interval
+// (df=1, t=12.7) far wider than the mean, which used to push CyclesLo
+// below the exactly measured service cycles — below zero, even — an
+// interval no run could realize. The bound must clamp at
+// ServiceCycles.
+func TestExtrapolateCyclesLoClamp(t *testing.T) {
+	regions := []Region{
+		{StartInstret: 0, Instret: 1000, Cycles: 1000},     // CPI 1
+		{StartInstret: 50000, Instret: 1000, Cycles: 9000}, // CPI 9
+	}
+	const service = 500
+	est := Extrapolate(regions, 1_000_000, service)
+	// Sanity: the raw interval really is the pathological case — the
+	// unclamped lower bound would be negative.
+	if raw := est.Cycles - est.CPI.Half*float64(est.TotalInstret); raw >= float64(service) {
+		t.Fatalf("fixture not pathological: unclamped lower bound %.0f >= service %d", raw, service)
+	}
+	if est.CyclesLo != float64(service) {
+		t.Errorf("CyclesLo = %.0f, want clamp at service cycles %d", est.CyclesLo, service)
+	}
+	if est.CyclesLo > est.Cycles || est.CyclesHi < est.Cycles {
+		t.Errorf("interval [%.0f, %.0f] does not bracket estimate %.0f", est.CyclesLo, est.CyclesHi, est.Cycles)
+	}
+}
+
+// TestExtrapolateNoRegions pins the degenerate service-cycles-only
+// estimate: a run whose schedule never produced a measured slice still
+// reports its exactly counted service cycles, with a point interval.
+func TestExtrapolateNoRegions(t *testing.T) {
+	est := Extrapolate(nil, 123_456, 7890)
+	if est.Regions != 0 || est.MeasuredInstret != 0 {
+		t.Errorf("expected empty estimate, got %d regions / %d measured instret", est.Regions, est.MeasuredInstret)
+	}
+	if est.Cycles != 7890 || est.CyclesLo != 7890 || est.CyclesHi != 7890 {
+		t.Errorf("service-only estimate = (%.0f, [%.0f, %.0f]), want all 7890",
+			est.Cycles, est.CyclesLo, est.CyclesHi)
+	}
+	if est.CPI.N != 0 || est.CPI.Half != 0 {
+		t.Errorf("no-region CPI interval should be zero-valued, got %+v", est.CPI)
+	}
+}
+
+// TestExtrapolateSingleRegion pins the single-region degenerate
+// interval (MeanCI95 with n < 2 has no spread to estimate from): the
+// CI must collapse onto the point estimate, not blow up on df=0.
+func TestExtrapolateSingleRegion(t *testing.T) {
+	regions := []Region{{Instret: 2000, Cycles: 5000, Accesses: 600, L1Misses: 30}}
+	est := Extrapolate(regions, 100_000, 0)
+	if est.CPI.Half != 0 || est.CPI.N != 1 {
+		t.Errorf("single-region CPI interval Half=%v N=%d, want degenerate Half=0 N=1", est.CPI.Half, est.CPI.N)
+	}
+	wantCycles := 2.5 * 100_000
+	if math.Abs(est.Cycles-wantCycles) > 1e-9 {
+		t.Errorf("Cycles = %.1f, want %.1f", est.Cycles, wantCycles)
+	}
+	if est.CyclesLo != est.Cycles || est.CyclesHi != est.Cycles {
+		t.Errorf("single-region CI [%.1f, %.1f] should collapse onto %.1f", est.CyclesLo, est.CyclesHi, est.Cycles)
+	}
+	if want := 30.0 * 50; est.L1Misses != want {
+		t.Errorf("L1Misses = %.1f, want %.1f", est.L1Misses, want)
+	}
+}
+
+// TestExtrapolateAllServiceRegion pins a region fully consumed by
+// service work (a collection spanning the whole measured slice): its
+// application CPI is zero, so the extrapolation reduces to the service
+// cycles, and the clamped lower bound equals them exactly.
+func TestExtrapolateAllServiceRegion(t *testing.T) {
+	regions := []Region{{Instret: 100, Cycles: 4000, ServiceCycles: 4000}}
+	est := Extrapolate(regions, 50_000, 4000)
+	if est.CPI.Mean != 0 {
+		t.Errorf("all-service region CPI = %v, want 0", est.CPI.Mean)
+	}
+	if est.Cycles != 4000 || est.CyclesLo != 4000 || est.CyclesHi != 4000 {
+		t.Errorf("all-service estimate = (%.0f, [%.0f, %.0f]), want all 4000",
+			est.Cycles, est.CyclesLo, est.CyclesHi)
+	}
+}

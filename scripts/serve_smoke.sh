@@ -99,6 +99,40 @@ if ! echo "$stats" | grep -A1 '"name": "serve.snapshot.hits"' | grep -q '"value"
     exit 1
 fi
 
+# Sampled estimate path: a sampled=true request answers with the
+# Estimated block (extrapolated cycles + 95% CIs) and caches under its
+# own content address — it must never alias the exact run's entry.
+SAMPLED='{"workload":"compress","seed":1,"sampled":true}'
+EXACT='{"workload":"compress","seed":1}'
+
+echo "serve-smoke: sampled request"
+curl -sf -D "$TMP/h5" -X POST -d "$SAMPLED" "http://$ADDR/run" -o "$TMP/r5"
+curl -sf -D "$TMP/h6" -X POST -d "$EXACT" "http://$ADDR/run" -o /dev/null
+
+if ! grep -q '"sampled":true' "$TMP/r5" || ! grep -q '"estimated":{' "$TMP/r5"; then
+    echo "serve-smoke: FAIL — sampled response lacks the estimated block" >&2
+    exit 1
+fi
+if ! grep -q '"cycles_lo":' "$TMP/r5"; then
+    echo "serve-smoke: FAIL — sampled estimate carries no confidence interval" >&2
+    exit 1
+fi
+skey=$(tr -d '\r' <"$TMP/h5" | awk -F': ' 'tolower($1)=="x-hpmvmd-key"{print $2}')
+ekey=$(tr -d '\r' <"$TMP/h6" | awk -F': ' 'tolower($1)=="x-hpmvmd-key"{print $2}')
+if [ -z "$skey" ] || [ "$skey" = "$ekey" ]; then
+    echo "serve-smoke: FAIL — sampled request key '$skey' aliases the exact key '$ekey'" >&2
+    exit 1
+fi
+
+# Sampled systems refuse Snapshot: the combination must bounce as 400.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    -d '{"workload":"compress","seed":1,"sampled":true,"warm_start_cycles":1000000}' \
+    "http://$ADDR/run")
+if [ "$code" != "400" ]; then
+    echo "serve-smoke: FAIL — sampled+warm_start_cycles answered $code, want 400" >&2
+    exit 1
+fi
+
 echo "serve-smoke: draining"
 kill -TERM "$PID"
 i=0
@@ -112,4 +146,4 @@ while kill -0 "$PID" 2>/dev/null; do
 done
 wait "$PID" 2>/dev/null || true
 
-echo "serve-smoke: OK — cold=miss, replay=hit, warm=store then hit, responses byte-identical, clean drain"
+echo "serve-smoke: OK — cold=miss, replay=hit, warm=store then hit, sampled=estimated block at its own key, responses byte-identical, clean drain"
