@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke profile experiments obs serve-smoke verify-sampling
+.PHONY: ci vet build test race bench bench-smoke profile experiments obs serve-smoke serve-bench-smoke serve-bench verify-sampling
 
-ci: vet build test race bench-smoke serve-smoke
+ci: vet build test race bench-smoke serve-smoke serve-bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -43,13 +43,27 @@ verify-sampling:
 # contributes the golden-equivalence subset (fop/compress/jess), which
 # pins the fast-path rewrite byte-for-byte under the race detector.
 race:
-	$(GO) test -race -timeout 60m . ./internal/bench/... ./internal/core/... ./internal/hw/cache/... ./internal/obs/... ./internal/serve/...
+	$(GO) test -race -timeout 60m . ./internal/bench/... ./internal/core/... ./internal/hw/cache/... ./internal/obs/... ./internal/serve/... ./internal/api/... ./internal/client/...
 
-# End-to-end hpmvmd smoke test: boot the daemon, issue the same run
-# request twice, assert the replay is a byte-identical cache hit, and
-# verify clean SIGTERM drain.
+# End-to-end hpmvmd smoke test: boot the daemon, run the client-based
+# protocol checks (scripts/servesmoke: cache byte-identity, warm-start
+# dispositions, sampled estimates, v1+deprecated aliases, streaming,
+# stable error codes), and verify clean SIGTERM drain.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Fleet smoke test: boot a 2-worker process fleet, re-run the protocol
+# checks against the coordinator (byte-identity now spans worker
+# processes), drive a short hpmvmbench burst with a minimum-RPS gate
+# and the per-worker identity probe, and drain the whole process tree.
+serve-bench-smoke:
+	sh scripts/serve_bench_smoke.sh
+
+# Full serve-layer load measurement: sweeps every traffic mix at
+# several fleet sizes into results/BENCH_serve.json. Boot the target
+# separately (hpmvmd -workers N) and label rows to match.
+serve-bench:
+	$(GO) run ./cmd/hpmvmbench -url http://127.0.0.1:8080 -mix all -out results/BENCH_serve.json
 
 # Cache hot-path microbenchmarks (BenchmarkHierarchyAccess*).
 bench:

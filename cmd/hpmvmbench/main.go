@@ -1,0 +1,397 @@
+// Command hpmvmbench is the hpmvmd load generator: closed-loop
+// concurrent clients driving a server (or fleet coordinator) through
+// the typed internal/client, reporting p50/p99 latency and sustained
+// RPS per traffic mix, with a byte-identity invariant checked on every
+// single response.
+//
+// Usage:
+//
+//	hpmvmbench -url http://127.0.0.1:8080 -mix all -clients 64 -duration 10s -label workers=4
+//
+// Mixes:
+//
+//	cachehot    every client hammers one request: result-cache hit path
+//	coldunique  every request is a unique seed: full simulation each time
+//	warmsweep   one warm-start prefix, divergent cycle budgets: snapshot
+//	            stickiness and prefix reuse
+//	sampled     unique seeds with sampled=true: the two-lane estimator
+//	mixed       1/2 cachehot, 1/4 coldunique, 1/8 sampled, 1/8 warmsweep
+//
+// Invariants (fatal when violated):
+//
+//   - Byte-identity: responses to an identical request body must be
+//     byte-identical across the whole run, whichever worker served
+//     them.
+//   - Per-worker probe (fleet targets): the same request pinned to
+//     every worker via X-Hpmvmd-Route must answer identical bytes.
+//
+// Results append/merge into -out as JSON (keyed by mix+label, so
+// re-running a sweep replaces its own rows) and print as Go benchmark
+// lines:
+//
+//	BenchmarkServe/cachehot/workers=4  1234  2.1 p50-ms  9.8 p99-ms  410.2 RPS
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hpmvm/internal/api"
+	"hpmvm/internal/client"
+)
+
+var allMixes = []string{"cachehot", "coldunique", "warmsweep", "sampled", "mixed"}
+
+type config struct {
+	url      string
+	mixes    []string
+	clients  int
+	duration time.Duration
+	label    string
+	workload string
+	out      string
+	minRPS   float64
+	probe    bool
+	note     string
+}
+
+// mixResult is one (mix,label) measurement row in the JSON report.
+type mixResult struct {
+	Mix            string  `json:"mix"`
+	Label          string  `json:"label"`
+	URL            string  `json:"url"`
+	Workload       string  `json:"workload"`
+	Clients        int     `json:"clients"`
+	DurationS      float64 `json:"duration_s"`
+	Completed      int     `json:"completed"`
+	Errors         int     `json:"errors"`
+	P50MS          float64 `json:"p50_ms"`
+	P99MS          float64 `json:"p99_ms"`
+	RPS            float64 `json:"rps"`
+	BytesIdentical bool    `json:"bytes_identical"`
+	ProbedWorkers  int     `json:"probed_workers,omitempty"`
+	Stolen         uint64  `json:"stolen,omitempty"`
+	Sticky         uint64  `json:"sticky,omitempty"`
+}
+
+// report is the BENCH_serve.json shape.
+type report struct {
+	Updated    string      `json:"updated"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Cores      int         `json:"cores"`
+	Note       string      `json:"note,omitempty"`
+	Results    []mixResult `json:"results"`
+}
+
+func main() {
+	var cfg config
+	var mixFlag string
+	flag.StringVar(&cfg.url, "url", "http://127.0.0.1:8080", "server or coordinator base URL")
+	flag.StringVar(&mixFlag, "mix", "all", `traffic mixes, comma-separated or "all"`)
+	flag.IntVar(&cfg.clients, "clients", 64, "concurrent closed-loop clients")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "measurement window per mix")
+	flag.StringVar(&cfg.label, "label", "", `row label merged on (mix,label), e.g. "workers=4"`)
+	flag.StringVar(&cfg.workload, "workload", "compress", "workload driven by every mix")
+	flag.StringVar(&cfg.out, "out", "", "JSON report to merge results into (empty = stdout only)")
+	flag.Float64Var(&cfg.minRPS, "min-rps", 0, "exit nonzero if any mix sustains less than this")
+	flag.BoolVar(&cfg.probe, "probe", true, "pin one request to every fleet worker and compare bytes")
+	flag.StringVar(&cfg.note, "note", "", "free-form note recorded in the report")
+	flag.Parse()
+
+	if mixFlag == "all" {
+		cfg.mixes = allMixes
+	} else {
+		cfg.mixes = strings.Split(mixFlag, ",")
+	}
+	valid := map[string]bool{}
+	for _, m := range allMixes {
+		valid[m] = true
+	}
+	for _, m := range cfg.mixes {
+		if !valid[m] {
+			fmt.Fprintf(os.Stderr, "hpmvmbench: unknown mix %q (have %s)\n", m, strings.Join(allMixes, ","))
+			os.Exit(2)
+		}
+	}
+	if cfg.label == "" {
+		cfg.label = "default"
+	}
+
+	if err := run(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "hpmvmbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg config) error {
+	c := client.New(client.Config{BaseURL: cfg.url, MaxRetries: 8, RetryBase: 50 * time.Millisecond})
+	ctx := context.Background()
+
+	if err := c.Healthz(ctx); err != nil {
+		return fmt.Errorf("target %s not healthy: %w", cfg.url, err)
+	}
+
+	// uniqueBase keeps coldunique seeds distinct across hpmvmbench
+	// invocations, so repeated bench runs against a long-lived server
+	// never degrade into cache hits.
+	uniqueBase := time.Now().UnixNano() % 1_000_000_000
+
+	var failures int
+	var results []mixResult
+	for _, mix := range cfg.mixes {
+		res, err := runMix(ctx, cfg, c, mix, uniqueBase)
+		if err != nil {
+			return fmt.Errorf("mix %s: %w", mix, err)
+		}
+		uniqueBase += 1_000_000 // disjoint seed range per mix
+		results = append(results, *res)
+		fmt.Printf("BenchmarkServe/%s/%s \t%d\t%.2f p50-ms\t%.2f p99-ms\t%.1f RPS\n",
+			mix, cfg.label, res.Completed, res.P50MS, res.P99MS, res.RPS)
+		if !res.BytesIdentical {
+			fmt.Fprintf(os.Stderr, "hpmvmbench: BYTE-IDENTITY VIOLATION in mix %s\n", mix)
+			failures++
+		}
+		if cfg.minRPS > 0 && res.RPS < cfg.minRPS {
+			fmt.Fprintf(os.Stderr, "hpmvmbench: mix %s sustained %.1f RPS < required %.1f\n", mix, res.RPS, cfg.minRPS)
+			failures++
+		}
+	}
+
+	if cfg.out != "" {
+		if err := mergeReport(cfg, results); err != nil {
+			return fmt.Errorf("write report: %w", err)
+		}
+		fmt.Printf("merged %d rows into %s\n", len(results), cfg.out)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d invariant/threshold failures", failures)
+	}
+	return nil
+}
+
+// requestFor builds the i-th request of a mix. Identical i across
+// clients may repeat bodies (that is the point for cachehot); the
+// byte-identity checker treats every distinct body independently.
+func requestFor(cfg config, mix string, uniqueBase int64, i int64) api.Request {
+	base := api.Request{Workload: cfg.workload, Version: api.Version}
+	switch mix {
+	case "cachehot":
+		base.Seed = 1
+	case "coldunique":
+		base.Seed = uniqueBase + i
+	case "warmsweep":
+		base.Seed = 2
+		base.Monitoring = true
+		base.Interval = 25_000
+		base.WarmStartCycles = 2_000_000
+		// Divergent budgets far beyond any natural run length: distinct
+		// result-cache keys sharing one snapshot prefix.
+		base.MaxCycles = 4_000_000_000 + uint64(i%16)
+	case "sampled":
+		base.Seed = uniqueBase + i
+		base.Sampled = true
+	case "mixed":
+		switch i % 8 {
+		case 0, 1, 2, 3:
+			return requestFor(cfg, "cachehot", uniqueBase, i)
+		case 4, 5:
+			return requestFor(cfg, "coldunique", uniqueBase, i)
+		case 6:
+			return requestFor(cfg, "sampled", uniqueBase, i)
+		default:
+			return requestFor(cfg, "warmsweep", uniqueBase, i)
+		}
+	}
+	return base
+}
+
+// identityChecker enforces byte-identity: every response to the same
+// request body must hash identically, across the run and across
+// workers.
+type identityChecker struct {
+	mu   sync.Mutex
+	seen map[string][32]byte
+	ok   bool
+}
+
+func newIdentityChecker() *identityChecker {
+	return &identityChecker{seen: make(map[string][32]byte), ok: true}
+}
+
+func (ic *identityChecker) check(req api.Request, body []byte) {
+	key, _ := json.Marshal(req)
+	sum := sha256.Sum256(body)
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if prev, dup := ic.seen[string(key)]; dup {
+		if prev != sum {
+			ic.ok = false
+		}
+		return
+	}
+	ic.seen[string(key)] = sum
+}
+
+func runMix(ctx context.Context, cfg config, c *client.Client, mix string, uniqueBase int64) (*mixResult, error) {
+	ic := newIdentityChecker()
+	var next atomic.Int64
+	var errs atomic.Int64
+	latencies := make([][]time.Duration, cfg.clients)
+
+	// Routing counters delta: snapshot before/after when the target is
+	// a coordinator.
+	preStats, preFleet := fleetStats(ctx, c)
+
+	deadline := time.Now().Add(cfg.duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.clients; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				req := requestFor(cfg, mix, uniqueBase, next.Add(1))
+				t0 := time.Now()
+				res, err := c.Run(ctx, req)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				latencies[w] = append(latencies[w], time.Since(t0))
+				ic.check(req, res.Body)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	res := &mixResult{
+		Mix:            mix,
+		Label:          cfg.label,
+		URL:            cfg.url,
+		Workload:       cfg.workload,
+		Clients:        cfg.clients,
+		DurationS:      elapsed.Seconds(),
+		Completed:      len(all),
+		Errors:         int(errs.Load()),
+		BytesIdentical: ic.ok,
+	}
+	if len(all) > 0 {
+		res.P50MS = float64(percentile(all, 0.50).Microseconds()) / 1000
+		res.P99MS = float64(percentile(all, 0.99).Microseconds()) / 1000
+		res.RPS = float64(len(all)) / elapsed.Seconds()
+	}
+
+	if post, postFleet := fleetStats(ctx, c); preFleet && postFleet {
+		res.Stolen = post.Routing.Stolen - preStats.Routing.Stolen
+		res.Sticky = post.Routing.Sticky - preStats.Routing.Sticky
+		if cfg.probe {
+			n, err := probeWorkers(ctx, cfg, post, ic)
+			if err != nil {
+				return nil, err
+			}
+			res.ProbedWorkers = n
+			res.BytesIdentical = ic.ok
+		}
+	}
+	return res, nil
+}
+
+// fleetStats fetches statsz and reports whether the target is a fleet
+// coordinator.
+func fleetStats(ctx context.Context, c *client.Client) (api.FleetStatsz, bool) {
+	st, err := c.FleetStatsz(ctx)
+	return st, err == nil && st.Fleet
+}
+
+// probeWorkers pins one cachehot-style request to every worker and
+// feeds the responses through the identity checker: any worker
+// answering different bytes for the same body trips the invariant.
+func probeWorkers(ctx context.Context, cfg config, st api.FleetStatsz, ic *identityChecker) (int, error) {
+	req := requestFor(cfg, "cachehot", 0, 0)
+	probed := 0
+	for _, w := range st.PerWorker {
+		if !w.Healthy {
+			continue
+		}
+		pc := client.New(client.Config{BaseURL: cfg.url, Route: w.Name, MaxRetries: 8, RetryBase: 50 * time.Millisecond})
+		res, err := pc.Run(ctx, req)
+		if err != nil {
+			return probed, fmt.Errorf("probe worker %s: %w", w.Name, err)
+		}
+		if res.Worker != w.Name {
+			return probed, fmt.Errorf("probe pinned to %s served by %q", w.Name, res.Worker)
+		}
+		ic.check(req, res.Body)
+		probed++
+	}
+	return probed, nil
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// mergeReport loads cfg.out, replaces rows matching (mix,label) of the
+// new results, and writes it back.
+func mergeReport(cfg config, results []mixResult) error {
+	var rep report
+	if data, err := os.ReadFile(cfg.out); err == nil {
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return fmt.Errorf("existing report %s is not valid JSON: %w", cfg.out, err)
+		}
+	}
+	replaced := func(r mixResult) bool {
+		for _, n := range results {
+			if n.Mix == r.Mix && n.Label == r.Label {
+				return true
+			}
+		}
+		return false
+	}
+	kept := rep.Results[:0]
+	for _, r := range rep.Results {
+		if !replaced(r) {
+			kept = append(kept, r)
+		}
+	}
+	rep.Results = append(kept, results...)
+	sort.Slice(rep.Results, func(i, j int) bool {
+		if rep.Results[i].Mix != rep.Results[j].Mix {
+			return rep.Results[i].Mix < rep.Results[j].Mix
+		}
+		return rep.Results[i].Label < rep.Results[j].Label
+	})
+	rep.Updated = time.Now().UTC().Format(time.RFC3339)
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Cores = runtime.NumCPU()
+	if cfg.note != "" {
+		rep.Note = cfg.note
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(cfg.out, append(data, '\n'), 0o644)
+}

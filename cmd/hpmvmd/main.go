@@ -1,31 +1,38 @@
 // Command hpmvmd is the long-lived run service: an HTTP/JSON front end
 // over the simulation stack with a deterministic result cache, bounded
-// queue, per-request timeouts and graceful drain.
+// queue, per-request timeouts and graceful drain — as a single server
+// or as a coordinator over a fleet of workers.
 //
 // Usage:
 //
-//	hpmvmd -addr :8080
-//	curl -s -X POST -d '{"workload":"db","seed":1}' localhost:8080/run
-//	curl -s -X POST -d '{"workload":"db","seed":1,"sampled":true}' localhost:8080/run
-//	curl -s localhost:8080/healthz
-//	curl -s localhost:8080/statsz
+//	hpmvmd -addr :8080                 # single-process server
+//	hpmvmd -addr :8080 -workers 4      # coordinator + 4 worker processes
+//	hpmvmd -addr :8080 -workers 4 -fleet inprocess
+//	curl -s -X POST -d '{"workload":"db","seed":1}' localhost:8080/v1/run
+//	curl -s localhost:8080/v1/healthz
+//	curl -s localhost:8080/v1/statsz
 //
-// A sampled=true request runs the two-lane sampled simulator on the
-// workload's calibrated region schedule and answers with an
-// "estimated" block — extrapolated full-run metrics with 95%
-// confidence intervals — cached under its own key, never aliasing the
-// exact result. It cannot be combined with warm_start_cycles (sampled
-// systems refuse Snapshot; the server answers 400).
+// With -workers N the process becomes a fleet coordinator: it forks N
+// copies of itself in -worker mode (or, with -fleet inprocess, builds
+// N in-process worker pools behind the same Backend interface), routes
+// /v1/run requests with snapshot-sticky rendezvous hashing, steals
+// overflow onto idle workers, restarts crashed workers, and aggregates
+// every worker's statsz under /v1/statsz. Because runs are
+// deterministic, a fleet of any size answers byte-identically to a
+// single server.
 //
-// Endpoints:
+// Endpoints (unversioned aliases remain and answer with a
+// Deprecation header):
 //
-//	POST /run       execute (or replay from cache) one benchmark run
-//	GET  /healthz   liveness; 503 once draining
-//	GET  /statsz    cache hit rate, queue depth, per-workload latency
-//	GET  /workloads the registered workloads with calibration data
+//	POST /v1/run       execute (or replay from cache) one benchmark run
+//	POST /v1/stream    the same contract, streamed as Server-Sent Events
+//	GET  /v1/healthz   liveness; 503 once draining
+//	GET  /v1/statsz    cache hit rate, queue depth, per-workload latency
+//	GET  /v1/workloads the registered workloads with calibration data
 //
 // On SIGTERM/SIGINT the server stops admitting runs, lets in-flight
-// requests finish (bounded by -drain), then exits.
+// requests finish (bounded by -drain), then exits; a coordinator also
+// forwards the signal to its workers and waits for them.
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -45,54 +53,155 @@ import (
 	"hpmvm/internal/serve"
 )
 
+// options carries the parsed flags; the supervisor re-serializes the
+// relevant subset onto its worker processes' command lines.
+type options struct {
+	addr         string
+	jobs         int
+	queue        int
+	cacheEntries int
+	timeout      time.Duration
+	drain        time.Duration
+	workers      int
+	fleet        string
+	worker       bool
+	portFile     string
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	jobs := flag.Int("jobs", 0, "worker-pool width (0 = GOMAXPROCS)")
-	queue := flag.Int("queue", 64, "queued runs beyond the worker width before 429")
-	cacheEntries := flag.Int("cache", 256, "result-cache capacity (entries)")
-	timeout := flag.Duration("timeout", 2*time.Minute, "per-run wall-clock cap (0 = none)")
-	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address (host:0 picks a free port)")
+	flag.IntVar(&o.jobs, "jobs", 0, "per-server worker-pool width (0 = GOMAXPROCS)")
+	flag.IntVar(&o.queue, "queue", 64, "queued runs beyond the worker width before 429")
+	flag.IntVar(&o.cacheEntries, "cache", 256, "result-cache capacity (entries)")
+	flag.DurationVar(&o.timeout, "timeout", 2*time.Minute, "per-run wall-clock cap (0 = none)")
+	flag.DurationVar(&o.drain, "drain", 30*time.Second, "graceful-drain budget on SIGTERM")
+	flag.IntVar(&o.workers, "workers", 0, "fleet size; 0 serves single-process")
+	flag.StringVar(&o.fleet, "fleet", "process", `fleet topology: "process" (forked workers) or "inprocess" (worker pools)`)
+	flag.BoolVar(&o.worker, "worker", false, "run as a fleet worker (started by the coordinator)")
+	flag.StringVar(&o.portFile, "port-file", "", "write the bound address to this file once listening")
 	flag.Parse()
 
-	log.SetPrefix("hpmvmd: ")
+	prefix := "hpmvmd: "
+	if o.worker {
+		prefix = "hpmvmd[worker]: "
+	}
+	log.SetPrefix(prefix)
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 
-	s := serve.New(serve.Config{
-		Jobs:         *jobs,
-		QueueDepth:   *queue,
-		CacheEntries: *cacheEntries,
-		Timeout:      *timeout,
-	})
-	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	var err error
+	switch {
+	case o.worker || o.workers == 0:
+		err = runSingle(o)
+	case o.fleet == "inprocess":
+		err = runInprocessFleet(o)
+	case o.fleet == "process":
+		err = runProcessFleet(o)
+	default:
+		err = fmt.Errorf("unknown -fleet topology %q", o.fleet)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s%v\n", prefix, err)
+		os.Exit(1)
+	}
+}
+
+// listen binds o.addr and publishes the bound address through
+// o.portFile (atomically, so a polling supervisor never reads a
+// partial write).
+func listen(o options) (net.Listener, error) {
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", o.addr, err)
+	}
+	if o.portFile != "" {
+		tmp := o.portFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return nil, err
+		}
+		if err := os.Rename(tmp, o.portFile); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	return ln, nil
+}
+
+// serveUntilSignal serves handler on ln until SIGTERM/SIGINT, then
+// runs drainFn and shuts the HTTP server down within the drain budget.
+func serveUntilSignal(o options, ln net.Listener, handler http.Handler, drainFn func()) error {
+	srv := &http.Server{Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
-	go func() {
-		log.Printf("serving %d workloads on %s (jobs %d, queue %d, cache %d, timeout %v)",
-			len(bench.Names()), *addr, *jobs, *queue, *cacheEntries, *timeout)
-		errc <- srv.ListenAndServe()
-	}()
+	go func() { errc <- srv.Serve(ln) }()
 
 	select {
 	case err := <-errc:
-		log.Fatalf("listen: %v", err)
+		return fmt.Errorf("serve: %w", err)
 	case <-ctx.Done():
 	}
 
-	log.Printf("signal received, draining (budget %v)", *drain)
-	s.Drain()
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	log.Printf("signal received, draining (budget %v)", o.drain)
+	drainFn()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), o.drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("drain incomplete: %v", err)
 		srv.Close()
-		os.Exit(1)
+		return fmt.Errorf("drain incomplete: %w", err)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(os.Stderr, "hpmvmd: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	log.Printf("drained cleanly")
+	return nil
+}
+
+// runSingle is the classic topology (and the -worker role): one server
+// process owning its engine, caches and queue.
+func runSingle(o options) error {
+	s := serve.New(serve.Config{
+		Jobs:         o.jobs,
+		QueueDepth:   o.queue,
+		CacheEntries: o.cacheEntries,
+		Timeout:      o.timeout,
+	})
+	ln, err := listen(o)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving %d workloads on %s (jobs %d, queue %d, cache %d, timeout %v)",
+		len(bench.Names()), ln.Addr(), o.jobs, o.queue, o.cacheEntries, o.timeout)
+	return serveUntilSignal(o, ln, s.Handler(), s.Drain)
+}
+
+// runInprocessFleet is the coordinator with worker pools instead of
+// worker processes: N independent servers (separate engines, caches,
+// queues) behind the same Backend interface the process fleet uses.
+func runInprocessFleet(o options) error {
+	backends := make([]serve.Backend, o.workers)
+	for i := range backends {
+		s := serve.New(serve.Config{
+			Jobs:         o.jobs,
+			QueueDepth:   o.queue,
+			CacheEntries: o.cacheEntries,
+			Timeout:      o.timeout,
+		})
+		backends[i] = serve.NewLocalBackend(fmt.Sprintf("w%d", i), s)
+	}
+	f, err := serve.NewFleet(serve.FleetConfig{Backends: backends})
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ln, err := listen(o)
+	if err != nil {
+		return err
+	}
+	log.Printf("coordinating %d in-process workers on %s (%d workloads)",
+		o.workers, ln.Addr(), len(bench.Names()))
+	return serveUntilSignal(o, ln, f.Handler(), f.Drain)
 }

@@ -1,0 +1,250 @@
+package main
+
+// The process-fleet supervisor: fork N copies of this binary in
+// -worker mode, wire each up as a client.Client backend, restart
+// crashed workers on their original port (the coordinator's backend
+// URLs are fixed at fleet construction), and translate the
+// coordinator's SIGTERM into a coordinated drain of the whole tree.
+//
+// The handshake avoids port races: each worker is started with
+// -addr 127.0.0.1:0 -port-file <dir>/wN.addr, binds a kernel-chosen
+// free port, and atomically publishes the bound address; the
+// supervisor polls the file, then health-checks the worker before
+// admitting it to the fleet. Restarts reuse the published address —
+// brief unavailability while the port rebinds is routed around by the
+// fleet's health tracking.
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"hpmvm/internal/client"
+	"hpmvm/internal/serve"
+)
+
+// workerProc is one supervised hpmvmd -worker process.
+type workerProc struct {
+	name     string
+	addr     string // bound address, fixed after first start
+	portFile string
+	opts     options
+
+	mu   sync.Mutex
+	cmd  *exec.Cmd
+	done bool // Stop was requested; don't restart
+}
+
+// args builds the worker's command line. First start binds :0 and
+// publishes via the port file; restarts rebind the known address.
+func (w *workerProc) args() []string {
+	addr := w.addr
+	a := []string{
+		"-worker",
+		"-jobs", fmt.Sprint(w.opts.jobs),
+		"-queue", fmt.Sprint(w.opts.queue),
+		"-cache", fmt.Sprint(w.opts.cacheEntries),
+		"-timeout", w.opts.timeout.String(),
+		"-drain", w.opts.drain.String(),
+	}
+	if addr == "" {
+		a = append(a, "-addr", "127.0.0.1:0", "-port-file", w.portFile)
+	} else {
+		a = append(a, "-addr", addr)
+	}
+	return a
+}
+
+// start launches the worker process and, on first start, waits for the
+// published address.
+func (w *workerProc) start() error {
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("locate own binary: %w", err)
+	}
+	cmd := exec.Command(exe, w.args()...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start %s: %w", w.name, err)
+	}
+	w.mu.Lock()
+	w.cmd = cmd
+	w.mu.Unlock()
+
+	if w.addr != "" {
+		return nil
+	}
+	// First start: poll for the handshake file.
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		data, err := os.ReadFile(w.portFile)
+		if err == nil {
+			w.addr = strings.TrimSpace(string(data))
+			return nil
+		}
+		if cmd.ProcessState != nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	return fmt.Errorf("%s never published its address via %s", w.name, w.portFile)
+}
+
+// supervise restarts the worker whenever it exits uncleanly, with a
+// small backoff so a crash-looping worker cannot busy-spin the
+// coordinator.
+func (w *workerProc) supervise() {
+	for {
+		w.mu.Lock()
+		cmd, done := w.cmd, w.done
+		w.mu.Unlock()
+		if done || cmd == nil {
+			return
+		}
+		err := cmd.Wait()
+		w.mu.Lock()
+		done = w.done
+		w.mu.Unlock()
+		if done {
+			return
+		}
+		log.Printf("%s exited (%v), restarting on %s", w.name, err, w.addr)
+		time.Sleep(250 * time.Millisecond)
+		if err := w.start(); err != nil {
+			log.Printf("restart %s: %v (health loop will keep it marked down)", w.name, err)
+			return
+		}
+	}
+}
+
+// stop sends SIGTERM (the worker drains itself) and waits it out.
+func (w *workerProc) stop(budget time.Duration) {
+	w.mu.Lock()
+	w.done = true
+	cmd := w.cmd
+	w.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	cmd.Process.Signal(os.Interrupt)
+	waited := make(chan struct{})
+	go func() {
+		cmd.Wait()
+		close(waited)
+	}()
+	select {
+	case <-waited:
+	case <-time.After(budget):
+		log.Printf("%s did not drain within %v, killing", w.name, budget)
+		cmd.Process.Kill()
+		<-waited
+	}
+}
+
+// runProcessFleet is the coordinator over forked worker processes.
+func runProcessFleet(o options) error {
+	dir, err := os.MkdirTemp("", "hpmvmd-fleet-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	procs := make([]*workerProc, o.workers)
+	backends := make([]serve.Backend, o.workers)
+	for i := range procs {
+		name := fmt.Sprintf("w%d", i)
+		procs[i] = &workerProc{
+			name:     name,
+			portFile: filepath.Join(dir, name+".addr"),
+			opts:     o,
+		}
+		if err := procs[i].start(); err != nil {
+			for _, p := range procs[:i] {
+				p.stop(time.Second)
+			}
+			return err
+		}
+		backends[i] = client.New(client.Config{
+			BaseURL: "http://" + procs[i].addr,
+			Name:    name,
+			// The coordinator owns steal/backoff policy; a backend that
+			// refuses must refuse immediately.
+			MaxRetries: -1,
+		})
+	}
+
+	// Wait until every worker answers healthz before opening the
+	// coordinator's own listener.
+	readyCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	for i, b := range backends {
+		for {
+			err := b.(*client.Client).Healthz(readyCtx)
+			if err == nil {
+				break
+			}
+			if readyCtx.Err() != nil {
+				for _, p := range procs {
+					p.stop(time.Second)
+				}
+				return fmt.Errorf("worker %s on %s never became healthy: %v", procs[i].name, procs[i].addr, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	f, err := serve.NewFleet(serve.FleetConfig{Backends: backends})
+	if err != nil {
+		for _, p := range procs {
+			p.stop(time.Second)
+		}
+		return err
+	}
+	defer f.Close()
+	for _, p := range procs {
+		go p.supervise()
+	}
+
+	ln, err := listen(o)
+	if err != nil {
+		for _, p := range procs {
+			p.stop(time.Second)
+		}
+		return err
+	}
+	addrs := make([]string, len(procs))
+	for i, p := range procs {
+		addrs[i] = p.addr
+	}
+	log.Printf("coordinating %d worker processes on %s (workers: %s)",
+		o.workers, ln.Addr(), strings.Join(addrs, ", "))
+
+	serveErr := serveUntilSignal(o, ln, f.Handler(), func() {
+		// Stop admitting at the edge first, then drain the tree: each
+		// worker gets the signal and its own drain budget.
+		f.Drain()
+		var wg sync.WaitGroup
+		for _, p := range procs {
+			p := p
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p.stop(o.drain)
+			}()
+		}
+		wg.Wait()
+	})
+	return serveErr
+}
+
+// Assert the coordinator-side client keeps satisfying the fleet's
+// Backend contract.
+var _ serve.Backend = (*client.Client)(nil)

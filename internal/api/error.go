@@ -1,0 +1,71 @@
+package api
+
+import "net/http"
+
+// Error is the one JSON error envelope every non-2xx response carries,
+// across every endpoint and every status (400/404/405/429/500/503/504).
+// Code is the stable machine-readable dispatch key; Message is for
+// humans and carries no compatibility promise.
+type Error struct {
+	Version string `json:"version,omitempty"`
+	Message string `json:"error"`
+	Code    string `json:"code"`
+	// RetryAfter, in seconds, is set when retrying the identical
+	// request later can succeed (CodeQueueFull); it mirrors the
+	// Retry-After response header.
+	RetryAfter int `json:"retry_after,omitempty"`
+}
+
+// Error implements the error interface; the typed client returns
+// *Error for every enveloped failure so callers can errors.As on it.
+func (e *Error) Error() string { return e.Message }
+
+// Stable machine-readable error codes. Codes are append-only: a code,
+// once shipped, never changes meaning or HTTP status.
+const (
+	// CodeBadRequest: the request body or field combination is invalid.
+	CodeBadRequest = "bad_request"
+	// CodeUnknownWorkload: the named workload is not registered.
+	CodeUnknownWorkload = "unknown_workload"
+	// CodeMethodNotAllowed: wrong HTTP method for the endpoint.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeQueueFull: the bounded run queue is at capacity; retry after
+	// RetryAfter seconds.
+	CodeQueueFull = "queue_full"
+	// CodeDraining: the instance began its graceful drain and admits
+	// no new runs.
+	CodeDraining = "draining"
+	// CodeTimeout: the run exceeded the server's per-run wall-clock cap.
+	CodeTimeout = "timeout"
+	// CodeCancelled: the client went away and the run was cancelled at
+	// its next safepoint.
+	CodeCancelled = "cancelled"
+	// CodeUnavailable: a fleet coordinator could not reach any worker
+	// able to serve the request.
+	CodeUnavailable = "unavailable"
+	// CodeInternal: the run failed for a reason that is not a request
+	// error; identical requests fail identically (runs are
+	// deterministic), so there is no point retrying.
+	CodeInternal = "internal"
+)
+
+// StatusForCode maps a stable error code onto its HTTP status. Unknown
+// codes map to 500 so a future-coded response degrades safely.
+func StatusForCode(code string) int {
+	switch code {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeUnknownWorkload:
+		return http.StatusNotFound
+	case CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case CodeQueueFull:
+		return http.StatusTooManyRequests
+	case CodeDraining, CodeCancelled, CodeUnavailable:
+		return http.StatusServiceUnavailable
+	case CodeTimeout:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -7,47 +7,69 @@
 //
 // Because a run is fully deterministic in (workload, resolved
 // core.Options, seed), the service fronts the engine with a
-// content-addressed result cache: requests are canonicalized
-// (bench.RunConfig.Resolve + core's canonical serialization), hashed,
-// and identical requests replay the stored response bytes. Single-
-// flight deduplication makes N concurrent identical requests cost one
-// simulation. Production plumbing: per-request timeouts, cooperative
-// cancellation threaded down to the VM's safepoints, a bounded queue
-// with 429 backpressure, graceful drain, and /healthz + /statsz fed by
-// internal/obs counters.
+// content-addressed deterministic result cache: requests are
+// canonicalized (bench.RunConfig.Resolve + core's canonical
+// serialization), hashed, and identical requests replay the stored
+// response bytes. Single-flight deduplication makes N concurrent
+// identical requests cost one simulation. Production plumbing:
+// per-request timeouts, cooperative cancellation threaded down to the
+// VM's safepoints, a bounded queue with 429 backpressure, graceful
+// drain, and /v1/healthz + /v1/statsz fed by internal/obs counters.
+//
+// The wire contract lives in internal/api ("v1"): every endpoint is
+// rooted at /v1/, with the pre-v1 unversioned paths kept as deprecated
+// aliases, and every error answers with the api.Error envelope
+// carrying a stable machine-readable code. Long runs can stream:
+// POST /v1/stream serves the same run as Server-Sent Events —
+// heartbeat progress frames, then the byte-identical result body.
+//
+// This package also houses the fleet coordinator (fleet.go): the same
+// contract served by a supervisor fanning requests out over N worker
+// backends with snapshot-sticky routing and queue-overflow stealing.
 package serve
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
+	"hpmvm/internal/api"
 	"hpmvm/internal/bench"
 	"hpmvm/internal/core"
-	"hpmvm/internal/hw/cache"
-	"hpmvm/internal/monitor"
 	"hpmvm/internal/obs"
-	"hpmvm/internal/stats"
 )
 
-// ErrQueueFull is the sentinel returned (and mapped to HTTP 429) when
-// the run queue is at capacity.
+// ErrQueueFull is the sentinel returned (and mapped to HTTP 429 /
+// api.CodeQueueFull) when the run queue is at capacity.
 var ErrQueueFull = errors.New("serve: queue full")
 
-// ErrDraining is returned (HTTP 503) once the server began its
-// graceful drain and no longer accepts new runs.
+// ErrDraining is returned (HTTP 503 / api.CodeDraining) once the
+// server began its graceful drain and no longer accepts new runs.
 var ErrDraining = errors.New("serve: draining")
 
-// maxRequestBody bounds a /run request body.
+// errMethod is mapped to HTTP 405 / api.CodeMethodNotAllowed.
+var errMethod = errors.New("serve: POST only")
+
+// maxRequestBody bounds a /v1/run request body.
 const maxRequestBody = 1 << 20
+
+// Aliases for the wire types this package historically owned; the
+// contract now lives in internal/api.
+type (
+	// Request is the JSON body of POST /v1/run.
+	Request = api.Request
+	// RunResponse is the JSON body of a successful run.
+	RunResponse = api.RunResponse
+	// Statsz is the GET /v1/statsz body.
+	Statsz = api.Statsz
+	// WorkloadLatency is one workload's statsz latency row.
+	WorkloadLatency = api.WorkloadLatency
+)
 
 // Config tunes a Server.
 type Config struct {
@@ -66,20 +88,12 @@ type Config struct {
 	// Timeout caps one run's wall clock; the run is cancelled at its
 	// next safepoint when exceeded (0 = no cap).
 	Timeout time.Duration
+	// StreamHeartbeat is the /v1/stream progress-frame interval
+	// (0 selects 1s).
+	StreamHeartbeat time.Duration
 }
 
-// workloadMeta is the per-workload data needed to canonicalize a
-// request without executing it, captured once at construction from a
-// single builder invocation.
-type workloadMeta struct {
-	name        string
-	description string
-	minHeap     uint64
-	hotField    string
-	builder     bench.Builder
-}
-
-// wlStat is the per-workload latency accounting surfaced by /statsz.
+// wlStat is the per-workload latency accounting surfaced by /v1/statsz.
 type wlStat struct {
 	runs   uint64
 	errors uint64
@@ -90,14 +104,15 @@ type wlStat struct {
 // Server is the run service. Create with New, mount Handler on an
 // http.Server.
 type Server struct {
-	cfg    Config
-	engine *bench.Engine
-	obs    *obs.Observer
+	cfg      Config
+	engine   *bench.Engine
+	obs      *obs.Observer
+	resolver *Resolver
 	// runner executes one run; tests swap it to count and gate
 	// executions.
 	runner func(ctx context.Context, b bench.Builder, cfg bench.RunConfig, label string) (*bench.Result, error)
 
-	// Owned obs counters (also visible in /statsz).
+	// Owned obs counters (also visible in /v1/statsz).
 	cRequests  *obs.Counter
 	cHits      *obs.Counter
 	cShared    *obs.Counter
@@ -110,6 +125,7 @@ type Server struct {
 	cSnapHits  *obs.Counter
 	cSnapStore *obs.Counter
 	cSnapEvict *obs.Counter
+	cStreams   *obs.Counter
 
 	mu          sync.Mutex
 	cache       *resultCache
@@ -118,8 +134,6 @@ type Server struct {
 	outstanding int
 	draining    bool
 	perWorkload map[string]*wlStat
-
-	meta map[string]workloadMeta // immutable after New
 }
 
 // New builds a Server over the frozen workload registry. It invokes
@@ -138,15 +152,18 @@ func New(cfg Config) *Server {
 	if cfg.SnapshotEntries <= 0 {
 		cfg.SnapshotEntries = 8
 	}
+	if cfg.StreamHeartbeat <= 0 {
+		cfg.StreamHeartbeat = time.Second
+	}
 	s := &Server{
 		cfg:         cfg,
 		engine:      bench.NewEngine(cfg.Jobs),
 		obs:         obs.New(0),
+		resolver:    newResolver(),
 		cache:       newResultCache(cfg.CacheEntries),
 		snapshots:   newResultCache(cfg.SnapshotEntries),
 		inflight:    make(map[string]*call),
 		perWorkload: make(map[string]*wlStat),
-		meta:        make(map[string]workloadMeta),
 	}
 	s.runner = s.engineRunner
 	s.cRequests = s.obs.Counter("serve.requests")
@@ -161,284 +178,89 @@ func New(cfg Config) *Server {
 	s.cSnapHits = s.obs.Counter("serve.snapshot.hits")
 	s.cSnapStore = s.obs.Counter("serve.snapshot.stores")
 	s.cSnapEvict = s.obs.Counter("serve.snapshot.evictions")
+	s.cStreams = s.obs.Counter("serve.streams")
 	s.obs.RegisterSampled("serve.queue.outstanding", func() uint64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		return uint64(s.outstanding)
 	})
-
-	for _, name := range bench.Names() {
-		b, _ := bench.Get(name)
-		prog := b()
-		s.meta[name] = workloadMeta{
-			name:        name,
-			description: prog.Description,
-			minHeap:     prog.MinHeap,
-			hotField:    prog.HotFieldName,
-			builder:     b,
-		}
-	}
 	return s
 }
 
-// Drain stops admitting new runs; /run answers 503 and /healthz flips
-// to draining so load balancers pull the instance. In-flight runs
-// finish normally (http.Server.Shutdown waits for their handlers).
+// Drain stops admitting new runs; /v1/run answers 503 and /v1/healthz
+// flips to draining so load balancers pull the instance. In-flight
+// runs finish normally (http.Server.Shutdown waits for their
+// handlers).
 func (s *Server) Drain() {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
 }
 
-// Handler returns the service mux.
+// deprecatedAlias wraps a handler for a pre-v1 unversioned path: same
+// behavior, plus the RFC 8594 Deprecation header and a Link to the
+// successor path.
+func deprecatedAlias(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.HeaderDeprecation, "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
+
+// Handler returns the service mux: the /v1 contract plus the
+// deprecated unversioned aliases.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/run", s.handleRun)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/statsz", s.handleStatsz)
-	mux.HandleFunc("/workloads", s.handleWorkloads)
+	mux.HandleFunc(api.PathRun, s.handleRun)
+	mux.HandleFunc(api.PathStream, s.handleStream)
+	mux.HandleFunc(api.PathHealthz, s.handleHealthz)
+	mux.HandleFunc(api.PathStatsz, s.handleStatsz)
+	mux.HandleFunc(api.PathWorkloads, s.handleWorkloads)
+	mux.HandleFunc(api.LegacyPathRun, deprecatedAlias(api.PathRun, s.handleRun))
+	mux.HandleFunc(api.LegacyPathHealthz, deprecatedAlias(api.PathHealthz, s.handleHealthz))
+	mux.HandleFunc(api.LegacyPathStatsz, deprecatedAlias(api.PathStatsz, s.handleStatsz))
+	mux.HandleFunc(api.LegacyPathWorkloads, deprecatedAlias(api.PathWorkloads, s.handleWorkloads))
 	return mux
 }
 
-// Request is the JSON body of POST /run. Zero values select the same
-// defaults the hpmvm CLI uses.
-type Request struct {
-	// Workload names a registered benchmark program.
-	Workload string `json:"workload"`
-	// HeapFactor sizes the heap as a multiple of the workload's
-	// calibrated minimum (0 = 4x); HeapBytes overrides it exactly.
-	HeapFactor float64 `json:"heap_factor,omitempty"`
-	HeapBytes  uint64  `json:"heap_bytes,omitempty"`
-	// Collector is "genms" (default) or "gencopy".
-	Collector string `json:"collector,omitempty"`
-	// Monitoring enables HPM sampling; Interval is the hardware
-	// sampling interval in events (0 = adaptive auto mode). Event is
-	// "l1" (default), "l2" or "dtlb".
-	Monitoring bool   `json:"monitoring,omitempty"`
-	Interval   uint64 `json:"interval,omitempty"`
-	Event      string `json:"event,omitempty"`
-	// Coalloc enables HPM-guided co-allocation (implies monitoring).
-	Coalloc bool `json:"coalloc,omitempty"`
-	// Adaptive runs AOS recording mode instead of the all-opt plan.
-	Adaptive bool `json:"adaptive,omitempty"`
-	// Seed drives the deterministic PRNG.
-	Seed int64 `json:"seed,omitempty"`
-	// MaxCycles bounds the run (0 = no bound).
-	MaxCycles uint64 `json:"max_cycles,omitempty"`
-	// TrackFields restricts the monitor time series ("Class::field").
-	TrackFields []string `json:"track_fields,omitempty"`
-	// Observe attaches the obs layer; the response then carries the
-	// final counter/phase snapshot.
-	Observe bool `json:"observe,omitempty"`
-	// WarmStartCycles, when non-zero, serves the run via the
-	// snapshot-prefix cache: the first WarmStartCycles simulated cycles
-	// execute once per distinct configuration and are checkpointed;
-	// later requests sharing the prefix restore the snapshot and
-	// simulate only the tail. An exact restore is byte-identical to the
-	// cold run, so the response body is unchanged — only latency and
-	// the X-Hpmvmd-Snapshot header differ. Must be below max_cycles
-	// when a cycle budget is set.
-	WarmStartCycles uint64 `json:"warm_start_cycles,omitempty"`
-	// Sampled runs the two-lane sampled simulator (on the workload's
-	// calibrated region schedule) instead of the cycle-exact one: the
-	// response gains an Estimated block — extrapolated full-run metrics
-	// with 95% confidence intervals — while Cycles and the cache stats
-	// then report the sampled run's own distorted counters. A sampled
-	// simulation is a different simulation, so it caches under its own
-	// key, never aliasing the exact result. Incompatible with
-	// warm_start_cycles: sampled systems refuse Snapshot.
-	Sampled bool `json:"sampled,omitempty"`
-}
-
-// RunResponse is the JSON body of a successful /run. Identical
-// requests produce byte-identical bodies — cold or cached — which the
-// serve-smoke target and TestServeConcurrentMixed assert.
-type RunResponse struct {
-	Workload  string `json:"workload"`
-	Key       string `json:"key"`
-	HeapBytes uint64 `json:"heap_bytes"`
-	Collector string `json:"collector"`
-	Seed      int64  `json:"seed"`
-
-	Cycles  uint64  `json:"cycles"`
-	Instret uint64  `json:"instret"`
-	CPI     float64 `json:"cpi"`
-
-	Results []int64     `json:"results"`
-	Cache   cache.Stats `json:"cache_stats"`
-
-	MinorGCs      uint64  `json:"minor_gcs"`
-	MajorGCs      uint64  `json:"major_gcs"`
-	GCCycles      uint64  `json:"gc_cycles"`
-	CoallocPairs  uint64  `json:"coalloc_pairs"`
-	Fragmentation float64 `json:"fragmentation"`
-
-	Monitor      *monitor.Stats `json:"monitor,omitempty"`
-	SamplesTaken uint64         `json:"samples_taken"`
-
-	// Sampled and Estimated are set iff the request asked for a sampled
-	// run: Estimated carries the extrapolated full-run point estimates
-	// with their 95% confidence intervals, and the exact-looking fields
-	// above (Cycles, CPI, cache_stats) hold the sampled run's own
-	// distorted counters — read Estimated instead.
-	Sampled   bool            `json:"sampled,omitempty"`
-	Estimated *stats.Estimate `json:"estimated,omitempty"`
-
-	Obs *obs.Metrics `json:"obs,omitempty"`
-}
-
-// errorBody is the JSON error envelope.
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-// resolved is a request after canonicalization.
-type resolved struct {
-	meta workloadMeta
-	cfg  bench.RunConfig
-	opts core.Options
-	key  string
-
-	// warmCycles and snapKey are set iff the request asked for a
-	// warm start; snapKey addresses the shared prefix snapshot.
-	warmCycles uint64
-	snapKey    string
-}
-
-// resolve canonicalizes a request: workload lookup, enum parsing,
-// RunConfig construction, options resolution and validation, and the
-// content-address the cache is keyed by.
-func (s *Server) resolve(req Request) (resolved, error) {
-	var r resolved
-	meta, ok := s.meta[req.Workload]
-	if !ok {
-		return r, fmt.Errorf("serve: %w %q", bench.ErrUnknownWorkload, req.Workload)
-	}
-	r.meta = meta
-
-	cfg := bench.RunConfig{
-		Heap:        req.HeapBytes,
-		HeapFactor:  req.HeapFactor,
-		Monitoring:  req.Monitoring,
-		Interval:    req.Interval,
-		Coalloc:     req.Coalloc,
-		Adaptive:    req.Adaptive,
-		Seed:        req.Seed,
-		MaxCycles:   req.MaxCycles,
-		TrackFields: req.TrackFields,
-		Observe:     req.Observe,
-	}
-	if req.Sampled {
-		if req.WarmStartCycles > 0 {
-			// Reject up front rather than surfacing core's late Snapshot
-			// refusal as a 500: sampled systems cannot checkpoint, so a
-			// sampled warm start is a contradiction in the request.
-			return r, fmt.Errorf("serve: %w: sampled=true cannot be combined with warm_start_cycles (sampled systems refuse Snapshot)", core.ErrBadOptions)
-		}
-		scfg := bench.CalibratedSampling(meta.name)
-		cfg.Sampling = &scfg
-	}
-	switch strings.ToLower(req.Collector) {
-	case "", "genms":
-		cfg.Collector = core.GenMS
-	case "gencopy":
-		cfg.Collector = core.GenCopy
-	default:
-		return r, fmt.Errorf("serve: %w: unknown collector %q (genms or gencopy)", core.ErrBadOptions, req.Collector)
-	}
-	switch strings.ToLower(req.Event) {
-	case "", "l1", "l1_miss":
-		cfg.Event = cache.EventL1Miss
-	case "l2", "l2_miss":
-		cfg.Event = cache.EventL2Miss
-	case "dtlb", "dtlb_miss":
-		cfg.Event = cache.EventDTLBMiss
-	default:
-		return r, fmt.Errorf("serve: %w: unknown event %q (l1, l2 or dtlb)", core.ErrBadOptions, req.Event)
-	}
-
-	opts := cfg.Resolve(meta.minHeap, meta.hotField)
-	if err := opts.Validate(); err != nil {
-		return r, err
-	}
-	// Invariant, not a reachable request path today: sampling may only
-	// enter the options through the sampled=true branch above. A future
-	// field that smuggled Options.Sampling in any other way would run
-	// two-lane and cache hybrid non-exact metrics as if they were exact
-	// — fail loudly instead.
-	if opts.Sampling != nil && !req.Sampled {
-		return r, fmt.Errorf("serve: %w: sampling configured outside the sampled=true path", core.ErrBadOptions)
-	}
-	if req.WarmStartCycles > 0 {
-		if cfg.MaxCycles != 0 && req.WarmStartCycles >= cfg.MaxCycles {
-			return r, fmt.Errorf("serve: %w: warm_start_cycles (%d) must be below max_cycles (%d)",
-				core.ErrBadOptions, req.WarmStartCycles, cfg.MaxCycles)
-		}
-		r.warmCycles = req.WarmStartCycles
-		r.snapKey = snapshotKey(meta.name, req.WarmStartCycles, cfg.Observe, opts)
-	}
-	r.cfg = cfg
-	r.opts = opts
-	r.key = requestKey(meta.name, cfg.MaxCycles, req.WarmStartCycles, cfg.Observe, opts)
-	return r, nil
-}
-
-// requestKey is the content address of one run request: the workload,
-// the request-level knobs that shape the response but live outside
-// core.Options (cycle budget, observe), and the canonical option
-// serialization. Everything that can change a single response byte is
-// in here. warm_start_cycles cannot change a byte (an exact restore is
-// byte-identical to the cold run) but is keyed anyway, so warm
-// requests always exercise — and therefore always report — the
-// snapshot path instead of aliasing a cold run's cached result.
-func requestKey(workload string, maxCycles, warmCycles uint64, observe bool, opts core.Options) string {
-	payload := fmt.Sprintf("workload=%s;max_cycles=%d;warm_start_cycles=%d;observe=%t;%s",
-		workload, maxCycles, warmCycles, observe, opts.CanonicalString())
-	sum := sha256.Sum256([]byte(payload))
-	return hex.EncodeToString(sum[:])
-}
-
-// snapshotKey is the content address of a warm-start prefix snapshot:
-// the workload, the pause cycle, the observer switch (it changes the
-// snapshot's component set) and the exact canonical options. Requests
-// that differ only in max_cycles share the snapshot — that is the
-// serve-level reuse axis; sampling-interval divergence is served at
-// the bench layer (Engine.RunFrom), not through this cache, so every
-// stored prefix replays byte-identically.
-func snapshotKey(workload string, warmCycles uint64, observe bool, opts core.Options) string {
-	payload := fmt.Sprintf("snapshot;workload=%s;warm_start_cycles=%d;observe=%t;%s",
-		workload, warmCycles, observe, opts.CanonicalString())
-	sum := sha256.Sum256([]byte(payload))
-	return hex.EncodeToString(sum[:])
-}
-
-// handleRun is POST /run.
-func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+// decodeRequest reads and validates one JSON request body.
+func decodeRequest(w http.ResponseWriter, r *http.Request) (api.Request, error) {
+	var req api.Request
 	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, errors.New("serve: POST only"))
-		return
+		return req, errMethod
 	}
-	s.cRequests.Inc()
-
-	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
-		return
+		return req, fmt.Errorf("serve: %w: bad request body: %v", core.ErrBadOptions, err)
 	}
-	res, err := s.resolve(req)
-	if err != nil {
-		s.writeError(w, statusFor(err), err)
-		return
-	}
+	return req, nil
+}
 
+// RunBytes executes (or replays) one run and returns the transport
+// view: the exact response bytes plus the cache/snapshot dispositions
+// the X-Hpmvmd-* headers carry. It is the programmatic core of
+// POST /v1/run, shared by the HTTP handler, the stream handler and
+// the in-process fleet backend.
+func (s *Server) RunBytes(ctx context.Context, req api.Request) (*api.RunResult, error) {
+	s.cRequests.Inc()
+	res, err := s.resolver.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	return s.runResolved(ctx, res)
+}
+
+// runResolved serves an already-resolved request through the cache +
+// single-flight front door.
+func (s *Server) runResolved(ctx context.Context, res resolved) (*api.RunResult, error) {
 	// snapDisp is written only when this request leads the execution
 	// (the closure runs synchronously in runCached's leader path);
 	// result-cache hits and shared waiters never touch the snapshot
-	// layer and carry no snapshot header.
+	// layer and carry no snapshot disposition.
 	var snapDisp string
-	body, disposition, err := s.runCached(r.Context(), res.key, func(ctx context.Context) ([]byte, error) {
+	body, disposition, err := s.runCached(ctx, res.key, func(ctx context.Context) ([]byte, error) {
 		b, sd, err := s.execute(ctx, res)
 		snapDisp = sd
 		return b, err
@@ -447,16 +269,39 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		if isCancellation(err) {
 			s.cCancelled.Inc()
 		}
-		s.writeError(w, statusFor(err), err)
+		return nil, err
+	}
+	return &api.RunResult{Body: body, Key: res.key, Cache: disposition, Snapshot: snapDisp}, nil
+}
+
+// handleRun is POST /v1/run.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(w, r)
+	if err != nil {
+		s.writeError(w, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Hpmvmd-Cache", disposition)
-	w.Header().Set("X-Hpmvmd-Key", res.key)
-	if snapDisp != "" {
-		w.Header().Set("X-Hpmvmd-Snapshot", snapDisp)
+	result, err := s.RunBytes(r.Context(), req)
+	if err != nil {
+		s.writeError(w, err)
+		return
 	}
-	w.Write(body)
+	writeRunResult(w, result)
+}
+
+// writeRunResult renders a successful run: disposition headers plus
+// the exact body bytes.
+func writeRunResult(w http.ResponseWriter, res *api.RunResult) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(api.HeaderCache, res.Cache)
+	w.Header().Set(api.HeaderKey, res.Key)
+	if res.Snapshot != "" {
+		w.Header().Set(api.HeaderSnapshot, res.Snapshot)
+	}
+	if res.Worker != "" {
+		w.Header().Set(api.HeaderWorker, res.Worker)
+	}
+	w.Write(res.Body)
 }
 
 // execute admits one run through the bounded queue, schedules it on
@@ -595,7 +440,8 @@ func (s *Server) engineRunner(ctx context.Context, b bench.Builder, cfg bench.Ru
 // layout is fixed and every nested struct is map-free, so identical
 // results marshal to identical bytes.
 func marshalResponse(res resolved, r *bench.Result) ([]byte, error) {
-	resp := RunResponse{
+	resp := api.RunResponse{
+		Version:       api.Version,
 		Workload:      res.meta.name,
 		Key:           res.key,
 		HeapBytes:     r.HeapBytes,
@@ -650,7 +496,8 @@ func (s *Server) recordLatency(name string, d time.Duration, err error) {
 	}
 }
 
-// handleHealthz is GET /healthz: 200 while serving, 503 once draining.
+// handleHealthz is GET /v1/healthz: 200 while serving, 503 once
+// draining.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
@@ -664,52 +511,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
-// WorkloadLatency is one workload's /statsz latency row.
-type WorkloadLatency struct {
-	Workload string  `json:"workload"`
-	Runs     uint64  `json:"runs"`
-	Errors   uint64  `json:"errors"`
-	MeanMS   float64 `json:"mean_ms"`
-	MaxMS    float64 `json:"max_ms"`
-}
-
-// Statsz is the GET /statsz body.
-type Statsz struct {
-	Draining bool `json:"draining"`
-
-	Queue struct {
-		Jobs        int `json:"jobs"`
-		Depth       int `json:"depth"`
-		Outstanding int `json:"outstanding"`
-	} `json:"queue"`
-
-	Cache struct {
-		Entries   int     `json:"entries"`
-		Capacity  int     `json:"capacity"`
-		Hits      uint64  `json:"hits"`
-		Shared    uint64  `json:"shared"`
-		Misses    uint64  `json:"misses"`
-		Evictions uint64  `json:"evictions"`
-		HitRate   float64 `json:"hit_rate"`
-	} `json:"cache"`
-
-	Snapshots struct {
-		Entries   int    `json:"entries"`
-		Capacity  int    `json:"capacity"`
-		Hits      uint64 `json:"hits"`
-		Stores    uint64 `json:"stores"`
-		Evictions uint64 `json:"evictions"`
-	} `json:"snapshots"`
-
-	Workloads []WorkloadLatency  `json:"workloads"`
-	Counters  []obs.CounterValue `json:"counters"`
-}
-
-// Stats snapshots the service counters (also served as /statsz).
-func (s *Server) Stats() Statsz {
+// Stats snapshots the service counters (also served as /v1/statsz).
+func (s *Server) Stats() api.Statsz {
 	metrics := s.obs.Metrics() // before s.mu: the sampled closure locks it
 
-	var st Statsz
+	var st api.Statsz
+	st.Version = api.Version
 	s.mu.Lock()
 	st.Draining = s.draining
 	st.Queue.Jobs = s.cfg.Jobs
@@ -720,7 +527,7 @@ func (s *Server) Stats() Statsz {
 	st.Snapshots.Entries = s.snapshots.len()
 	st.Snapshots.Capacity = s.cfg.SnapshotEntries
 	for name, w := range s.perWorkload {
-		row := WorkloadLatency{
+		row := api.WorkloadLatency{
 			Workload: name,
 			Runs:     w.runs,
 			Errors:   w.errors,
@@ -748,7 +555,7 @@ func (s *Server) Stats() Statsz {
 	return st
 }
 
-// handleStatsz is GET /statsz.
+// handleStatsz is GET /v1/statsz.
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -756,54 +563,72 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	enc.Encode(s.Stats())
 }
 
-// workloadInfo is one /workloads row.
-type workloadInfo struct {
-	Name        string `json:"name"`
-	Description string `json:"description"`
-	MinHeap     uint64 `json:"min_heap"`
-	HotField    string `json:"hot_field,omitempty"`
+// Workloads returns the registry rows served at /v1/workloads.
+func (s *Server) Workloads() []api.WorkloadInfo {
+	rows := s.resolver.workloads()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
 }
 
-// handleWorkloads is GET /workloads: the registry with calibration.
+// handleWorkloads is GET /v1/workloads: the registry with calibration.
 func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
-	rows := make([]workloadInfo, 0, len(s.meta))
-	for _, m := range s.meta {
-		rows = append(rows, workloadInfo{Name: m.name, Description: m.description, MinHeap: m.minHeap, HotField: m.hotField})
-	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(rows)
+	enc.Encode(s.Workloads())
 }
 
-// statusFor maps service errors onto HTTP statuses.
-func statusFor(err error) int {
+// statusFor maps service errors onto (HTTP status, stable error code).
+// The table-driven TestStatusFor pins every sentinel's mapping.
+func statusFor(err error) (int, string) {
 	switch {
 	case errors.Is(err, bench.ErrUnknownWorkload):
-		return http.StatusNotFound
+		return http.StatusNotFound, api.CodeUnknownWorkload
 	case errors.Is(err, core.ErrBadOptions):
-		return http.StatusBadRequest
+		return http.StatusBadRequest, api.CodeBadRequest
+	case errors.Is(err, errMethod):
+		return http.StatusMethodNotAllowed, api.CodeMethodNotAllowed
 	case errors.Is(err, ErrQueueFull):
-		return http.StatusTooManyRequests
+		return http.StatusTooManyRequests, api.CodeQueueFull
 	case errors.Is(err, ErrDraining):
-		return http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable, api.CodeDraining
 	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
+		return http.StatusGatewayTimeout, api.CodeTimeout
 	case errors.Is(err, context.Canceled):
 		// Client went away; the status is never seen.
-		return http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable, api.CodeCancelled
 	default:
-		return http.StatusInternalServerError
+		return http.StatusInternalServerError, api.CodeInternal
 	}
 }
 
-// writeError renders the JSON error envelope.
-func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+// toAPIError wraps any service error into the api.Error envelope. An
+// error that already is an envelope (a fleet relaying a worker's
+// refusal) passes through unchanged, keeping the worker's code.
+func toAPIError(err error) *api.Error {
+	var ae *api.Error
+	if errors.As(err, &ae) {
+		return ae
 	}
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+	_, code := statusFor(err)
+	out := &api.Error{Version: api.Version, Message: err.Error(), Code: code}
+	if code == api.CodeQueueFull {
+		out.RetryAfter = 1
+	}
+	return out
+}
+
+// writeError renders the JSON error envelope with its mapped status.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	writeAPIError(w, toAPIError(err))
+}
+
+// writeAPIError renders an api.Error envelope.
+func writeAPIError(w http.ResponseWriter, ae *api.Error) {
+	w.Header().Set("Content-Type", "application/json")
+	if ae.RetryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", ae.RetryAfter))
+	}
+	w.WriteHeader(api.StatusForCode(ae.Code))
+	json.NewEncoder(w).Encode(ae)
 }

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"testing"
+
+	"hpmvm/internal/api"
 )
 
 // TestServeSampled pins the sampled-serve contract: a sampled=true
@@ -98,9 +100,12 @@ func TestServeSampledValidation(t *testing.T) {
 	if rr.Code != http.StatusBadRequest {
 		t.Fatalf("sampled+warm_start: status %d, want 400: %s", rr.Code, rr.Body.String())
 	}
-	var eb errorBody
-	if err := json.Unmarshal(rr.Body.Bytes(), &eb); err != nil || eb.Error == "" {
+	var eb api.Error
+	if err := json.Unmarshal(rr.Body.Bytes(), &eb); err != nil || eb.Message == "" {
 		t.Fatalf("400 body is not the JSON error envelope: %q", rr.Body.String())
+	}
+	if eb.Code != api.CodeBadRequest {
+		t.Errorf("400 code = %q, want %q", eb.Code, api.CodeBadRequest)
 	}
 	if got := s.cExecuted.Value(); got != 0 {
 		t.Errorf("rejected request still executed %d runs", got)

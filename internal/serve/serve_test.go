@@ -12,7 +12,9 @@ import (
 	"testing"
 	"time"
 
+	"hpmvm/internal/api"
 	"hpmvm/internal/bench"
+	"hpmvm/internal/core"
 	"hpmvm/internal/vm/bytecode"
 	"hpmvm/internal/vm/classfile"
 )
@@ -298,24 +300,103 @@ func TestBadRequests(t *testing.T) {
 		method string
 		body   string
 		status int
+		code   string
 	}{
-		{"wrong method", http.MethodGet, "", http.StatusMethodNotAllowed},
-		{"malformed json", http.MethodPost, `{`, http.StatusBadRequest},
-		{"unknown field", http.MethodPost, `{"workload":"serve_tiny","bogus":1}`, http.StatusBadRequest},
-		{"unknown workload", http.MethodPost, `{"workload":"nope"}`, http.StatusNotFound},
-		{"unknown collector", http.MethodPost, `{"workload":"serve_tiny","collector":"zgc"}`, http.StatusBadRequest},
-		{"unknown event", http.MethodPost, `{"workload":"serve_tiny","event":"l9"}`, http.StatusBadRequest},
-		{"coalloc on gencopy", http.MethodPost, `{"workload":"serve_tiny","collector":"gencopy","coalloc":true}`, http.StatusBadRequest},
+		{"wrong method", http.MethodGet, "", http.StatusMethodNotAllowed, api.CodeMethodNotAllowed},
+		{"malformed json", http.MethodPost, `{`, http.StatusBadRequest, api.CodeBadRequest},
+		{"unknown field", http.MethodPost, `{"workload":"serve_tiny","bogus":1}`, http.StatusBadRequest, api.CodeBadRequest},
+		{"bad api version", http.MethodPost, `{"workload":"serve_tiny","version":"v0"}`, http.StatusBadRequest, api.CodeBadRequest},
+		{"unknown workload", http.MethodPost, `{"workload":"nope"}`, http.StatusNotFound, api.CodeUnknownWorkload},
+		{"unknown collector", http.MethodPost, `{"workload":"serve_tiny","collector":"zgc"}`, http.StatusBadRequest, api.CodeBadRequest},
+		{"unknown event", http.MethodPost, `{"workload":"serve_tiny","event":"l9"}`, http.StatusBadRequest, api.CodeBadRequest},
+		{"coalloc on gencopy", http.MethodPost, `{"workload":"serve_tiny","collector":"gencopy","coalloc":true}`, http.StatusBadRequest, api.CodeBadRequest},
+	}
+	for _, path := range []string{api.PathRun, api.PathStream, "/run"} {
+		for _, tc := range cases {
+			rr := doReq(h, nil, tc.method, path, tc.body)
+			if rr.Code != tc.status {
+				t.Errorf("%s %s: status %d, want %d: %s", path, tc.name, rr.Code, tc.status, rr.Body.String())
+			}
+			var eb api.Error
+			if err := json.Unmarshal(rr.Body.Bytes(), &eb); err != nil || eb.Message == "" {
+				t.Errorf("%s %s: error response is not the JSON envelope: %q", path, tc.name, rr.Body.String())
+			} else if eb.Code != tc.code {
+				t.Errorf("%s %s: code %q, want %q", path, tc.name, eb.Code, tc.code)
+			}
+		}
+	}
+}
+
+// TestStatusFor pins the sentinel→(status, code) table: the codes are
+// the machine-readable wire contract, so a remapping is a breaking
+// change.
+func TestStatusFor(t *testing.T) {
+	cases := []struct {
+		name   string
+		err    error
+		status int
+		code   string
+	}{
+		{"unknown workload", fmt.Errorf("x: %w", bench.ErrUnknownWorkload), http.StatusNotFound, api.CodeUnknownWorkload},
+		{"bad options", fmt.Errorf("x: %w", core.ErrBadOptions), http.StatusBadRequest, api.CodeBadRequest},
+		{"method", errMethod, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed},
+		{"queue full", fmt.Errorf("%w: 65 outstanding", ErrQueueFull), http.StatusTooManyRequests, api.CodeQueueFull},
+		{"draining", ErrDraining, http.StatusServiceUnavailable, api.CodeDraining},
+		{"timeout", context.DeadlineExceeded, http.StatusGatewayTimeout, api.CodeTimeout},
+		{"cancel", context.Canceled, http.StatusServiceUnavailable, api.CodeCancelled},
+		{"run failure", fmt.Errorf("simulation exploded"), http.StatusInternalServerError, api.CodeInternal},
 	}
 	for _, tc := range cases {
-		rr := doReq(h, nil, tc.method, "/run", tc.body)
-		if rr.Code != tc.status {
-			t.Errorf("%s: status %d, want %d: %s", tc.name, rr.Code, tc.status, rr.Body.String())
+		status, code := statusFor(tc.err)
+		if status != tc.status || code != tc.code {
+			t.Errorf("%s: statusFor = (%d, %q), want (%d, %q)", tc.name, status, code, tc.status, tc.code)
 		}
-		var eb errorBody
-		if err := json.Unmarshal(rr.Body.Bytes(), &eb); err != nil || eb.Error == "" {
-			t.Errorf("%s: error response is not the JSON envelope: %q", tc.name, rr.Body.String())
+		if got := api.StatusForCode(code); got != tc.status {
+			t.Errorf("%s: StatusForCode(%q) = %d disagrees with statusFor's %d", tc.name, code, got, tc.status)
 		}
+		ae := toAPIError(tc.err)
+		if ae.Code != tc.code {
+			t.Errorf("%s: toAPIError code %q, want %q", tc.name, ae.Code, tc.code)
+		}
+		if (tc.code == api.CodeQueueFull) != (ae.RetryAfter > 0) {
+			t.Errorf("%s: retry_after %d inconsistent with code %q", tc.name, ae.RetryAfter, ae.Code)
+		}
+	}
+}
+
+// TestDeprecatedAliases pins the pre-v1 paths: same handler, same
+// bytes, plus the Deprecation header and successor Link.
+func TestDeprecatedAliases(t *testing.T) {
+	s := New(Config{Jobs: 1})
+	h := s.Handler()
+	legacy := doReq(h, nil, http.MethodPost, "/run", runBody(11))
+	if legacy.Code != http.StatusOK {
+		t.Fatalf("legacy /run: status %d: %s", legacy.Code, legacy.Body.String())
+	}
+	if legacy.Header().Get(api.HeaderDeprecation) != "true" {
+		t.Error("legacy /run lacks the Deprecation header")
+	}
+	if link := legacy.Header().Get("Link"); !strings.Contains(link, api.PathRun) {
+		t.Errorf("legacy /run Link header %q does not name the successor %s", link, api.PathRun)
+	}
+	v1 := doReq(h, nil, http.MethodPost, api.PathRun, runBody(11))
+	if v1.Code != http.StatusOK {
+		t.Fatalf("%s: status %d", api.PathRun, v1.Code)
+	}
+	if v1.Header().Get(api.HeaderDeprecation) != "" {
+		t.Error("/v1/run carries a Deprecation header")
+	}
+	if !bytes.Equal(legacy.Body.Bytes(), v1.Body.Bytes()) {
+		t.Error("legacy and /v1 bodies differ")
+	}
+	for _, p := range []string{api.LegacyPathHealthz, api.LegacyPathStatsz, api.LegacyPathWorkloads} {
+		if got := doReq(h, nil, http.MethodGet, p, "").Header().Get(api.HeaderDeprecation); got != "true" {
+			t.Errorf("%s: Deprecation header = %q, want true", p, got)
+		}
+	}
+	var resp RunResponse
+	if err := json.Unmarshal(v1.Body.Bytes(), &resp); err != nil || resp.Version != api.Version {
+		t.Errorf("response version = %q (err %v), want %q", resp.Version, err, api.Version)
 	}
 }
 

@@ -1,0 +1,62 @@
+#!/bin/sh
+# serve_bench_smoke.sh — boot a 2-worker process fleet, run the full
+# protocol checks against the coordinator (byte-identity now spans
+# worker processes), then a short hpmvmbench burst asserting nonzero
+# sustained RPS and the per-worker byte-identity probe, then a clean
+# drain of the whole tree.
+#
+# Usage: scripts/serve_bench_smoke.sh [port]   (default 18090)
+set -eu
+
+PORT="${1:-18090}"
+ADDR="127.0.0.1:${PORT}"
+TMP="$(mktemp -d)"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "serve-bench-smoke: building hpmvmd + servesmoke + hpmvmbench"
+go build -o "$TMP/hpmvmd" ./cmd/hpmvmd
+go build -o "$TMP/servesmoke" ./scripts/servesmoke
+go build -o "$TMP/hpmvmbench" ./cmd/hpmvmbench
+
+"$TMP/hpmvmd" -addr "$ADDR" -workers 2 -jobs 1 &
+PID=$!
+
+# The coordinator opens its listener only after every worker forked,
+# published its port and answered healthz.
+i=0
+until curl -sf "http://$ADDR/v1/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 150 ]; then
+        echo "serve-bench-smoke: FAIL — fleet did not become healthy" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+workers=$(curl -sf "http://$ADDR/v1/healthz" | grep -o '"workers":2' || true)
+if [ -z "$workers" ]; then
+    echo "serve-bench-smoke: FAIL — healthz does not report 2 workers" >&2
+    exit 1
+fi
+
+echo "serve-bench-smoke: protocol checks against the coordinator"
+"$TMP/servesmoke" -url "http://$ADDR"
+
+echo "serve-bench-smoke: load burst (cachehot, 3s)"
+"$TMP/hpmvmbench" -url "http://$ADDR" -mix cachehot -clients 8 -duration 3s \
+    -label bench-smoke -min-rps 50
+
+echo "serve-bench-smoke: draining fleet"
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 150 ]; then
+        echo "serve-bench-smoke: FAIL — coordinator did not exit on SIGTERM" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+wait "$PID" 2>/dev/null || true
+
+echo "serve-bench-smoke: OK — 2-worker fleet byte-identical, nonzero RPS, clean tree drain"

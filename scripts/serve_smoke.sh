@@ -1,28 +1,29 @@
 #!/bin/sh
-# serve_smoke.sh — end-to-end check of the hpmvmd deterministic result
-# cache: boot the daemon, send the same run request twice, and assert
-# the second response is a byte-identical cache hit. Exercises the real
-# binary, the real HTTP path and the real simulation (one cold run of
-# the compress workload), then verifies graceful SIGTERM shutdown.
+# serve_smoke.sh — boot hpmvmd, run the client-based end-to-end checks
+# (scripts/servesmoke, built on internal/client), then verify graceful
+# SIGTERM shutdown. All protocol assertions — cache byte-identity,
+# warm-start dispositions, sampled estimates, deprecation headers,
+# stream reassembly, stable error codes — live in the Go checker; this
+# wrapper only owns process lifecycle.
 #
 # Usage: scripts/serve_smoke.sh [port]   (default 18080)
 set -eu
 
 PORT="${1:-18080}"
 ADDR="127.0.0.1:${PORT}"
-BODY='{"workload":"compress","seed":1,"monitoring":true,"interval":25000}'
 TMP="$(mktemp -d)"
 trap 'kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
 
-echo "serve-smoke: building hpmvmd"
+echo "serve-smoke: building hpmvmd + servesmoke"
 go build -o "$TMP/hpmvmd" ./cmd/hpmvmd
+go build -o "$TMP/servesmoke" ./scripts/servesmoke
 
 "$TMP/hpmvmd" -addr "$ADDR" -cache 16 &
 PID=$!
 
 # Wait for liveness (the daemon calibrates every workload at startup).
 i=0
-until curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; do
+until curl -sf "http://$ADDR/v1/healthz" >/dev/null 2>&1; do
     i=$((i + 1))
     if [ "$i" -gt 100 ]; then
         echo "serve-smoke: FAIL — daemon did not become healthy" >&2
@@ -31,107 +32,7 @@ until curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; do
     sleep 0.2
 done
 
-echo "serve-smoke: cold request"
-curl -sf -D "$TMP/h1" -X POST -d "$BODY" "http://$ADDR/run" -o "$TMP/r1"
-echo "serve-smoke: cached request"
-curl -sf -D "$TMP/h2" -X POST -d "$BODY" "http://$ADDR/run" -o "$TMP/r2"
-
-disp1=$(tr -d '\r' <"$TMP/h1" | awk -F': ' 'tolower($1)=="x-hpmvmd-cache"{print $2}')
-disp2=$(tr -d '\r' <"$TMP/h2" | awk -F': ' 'tolower($1)=="x-hpmvmd-cache"{print $2}')
-if [ "$disp1" != "miss" ]; then
-    echo "serve-smoke: FAIL — first request disposition '$disp1', want miss" >&2
-    exit 1
-fi
-if [ "$disp2" != "hit" ]; then
-    echo "serve-smoke: FAIL — second request disposition '$disp2', want hit" >&2
-    exit 1
-fi
-if ! cmp -s "$TMP/r1" "$TMP/r2"; then
-    echo "serve-smoke: FAIL — cached response is not byte-identical to the cold one" >&2
-    exit 1
-fi
-
-hits=$(curl -sf "http://$ADDR/statsz" | grep -c '"hits": 1') || true
-if [ "$hits" != "1" ]; then
-    echo "serve-smoke: FAIL — /statsz does not report the cache hit" >&2
-    exit 1
-fi
-
-# Warm-start snapshot-prefix cache: the first warm request simulates
-# and stores the prefix snapshot ("store"); a second request sharing
-# the prefix but diverging in its cycle budget must reuse it ("hit").
-# Both, and the plain cold run, describe the same simulation — the
-# bodies may differ only in the request key.
-WARM='{"workload":"compress","seed":1,"monitoring":true,"interval":25000,"warm_start_cycles":2000000}'
-WARM2='{"workload":"compress","seed":1,"monitoring":true,"interval":25000,"warm_start_cycles":2000000,"max_cycles":4000000000}'
-
-echo "serve-smoke: warm-start store request"
-curl -sf -D "$TMP/h3" -X POST -d "$WARM" "http://$ADDR/run" -o "$TMP/r3"
-echo "serve-smoke: warm-start divergent request"
-curl -sf -D "$TMP/h4" -X POST -d "$WARM2" "http://$ADDR/run" -o "$TMP/r4"
-
-snap1=$(tr -d '\r' <"$TMP/h3" | awk -F': ' 'tolower($1)=="x-hpmvmd-snapshot"{print $2}')
-snap2=$(tr -d '\r' <"$TMP/h4" | awk -F': ' 'tolower($1)=="x-hpmvmd-snapshot"{print $2}')
-if [ "$snap1" != "store" ]; then
-    echo "serve-smoke: FAIL — first warm request snapshot disposition '$snap1', want store" >&2
-    exit 1
-fi
-if [ "$snap2" != "hit" ]; then
-    echo "serve-smoke: FAIL — divergent warm request snapshot disposition '$snap2', want hit" >&2
-    exit 1
-fi
-
-sed 's/"key":"[^"]*"//' <"$TMP/r1" >"$TMP/n1"
-sed 's/"key":"[^"]*"//' <"$TMP/r3" >"$TMP/n3"
-sed 's/"key":"[^"]*"//' <"$TMP/r4" >"$TMP/n4"
-if ! cmp -s "$TMP/n1" "$TMP/n3" || ! cmp -s "$TMP/n3" "$TMP/n4"; then
-    echo "serve-smoke: FAIL — warm-started responses differ from the cold run" >&2
-    exit 1
-fi
-
-stats=$(curl -sf "http://$ADDR/statsz")
-if ! echo "$stats" | grep -A1 '"name": "serve.snapshot.stores"' | grep -q '"value": 1'; then
-    echo "serve-smoke: FAIL — /statsz does not report the snapshot store" >&2
-    exit 1
-fi
-if ! echo "$stats" | grep -A1 '"name": "serve.snapshot.hits"' | grep -q '"value": 1'; then
-    echo "serve-smoke: FAIL — /statsz does not report the snapshot hit" >&2
-    exit 1
-fi
-
-# Sampled estimate path: a sampled=true request answers with the
-# Estimated block (extrapolated cycles + 95% CIs) and caches under its
-# own content address — it must never alias the exact run's entry.
-SAMPLED='{"workload":"compress","seed":1,"sampled":true}'
-EXACT='{"workload":"compress","seed":1}'
-
-echo "serve-smoke: sampled request"
-curl -sf -D "$TMP/h5" -X POST -d "$SAMPLED" "http://$ADDR/run" -o "$TMP/r5"
-curl -sf -D "$TMP/h6" -X POST -d "$EXACT" "http://$ADDR/run" -o /dev/null
-
-if ! grep -q '"sampled":true' "$TMP/r5" || ! grep -q '"estimated":{' "$TMP/r5"; then
-    echo "serve-smoke: FAIL — sampled response lacks the estimated block" >&2
-    exit 1
-fi
-if ! grep -q '"cycles_lo":' "$TMP/r5"; then
-    echo "serve-smoke: FAIL — sampled estimate carries no confidence interval" >&2
-    exit 1
-fi
-skey=$(tr -d '\r' <"$TMP/h5" | awk -F': ' 'tolower($1)=="x-hpmvmd-key"{print $2}')
-ekey=$(tr -d '\r' <"$TMP/h6" | awk -F': ' 'tolower($1)=="x-hpmvmd-key"{print $2}')
-if [ -z "$skey" ] || [ "$skey" = "$ekey" ]; then
-    echo "serve-smoke: FAIL — sampled request key '$skey' aliases the exact key '$ekey'" >&2
-    exit 1
-fi
-
-# Sampled systems refuse Snapshot: the combination must bounce as 400.
-code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
-    -d '{"workload":"compress","seed":1,"sampled":true,"warm_start_cycles":1000000}' \
-    "http://$ADDR/run")
-if [ "$code" != "400" ]; then
-    echo "serve-smoke: FAIL — sampled+warm_start_cycles answered $code, want 400" >&2
-    exit 1
-fi
+"$TMP/servesmoke" -url "http://$ADDR"
 
 echo "serve-smoke: draining"
 kill -TERM "$PID"
@@ -146,4 +47,4 @@ while kill -0 "$PID" 2>/dev/null; do
 done
 wait "$PID" 2>/dev/null || true
 
-echo "serve-smoke: OK — cold=miss, replay=hit, warm=store then hit, sampled=estimated block at its own key, responses byte-identical, clean drain"
+echo "serve-smoke: OK — protocol checks passed, clean drain"

@@ -1,0 +1,263 @@
+// Command servesmoke is the end-to-end smoke checker for a running
+// hpmvmd (single server or fleet coordinator), built on the typed
+// internal/client — the same code path external clients use, replacing
+// the old shell-and-grep JSON checks in scripts/serve_smoke.sh.
+//
+// It verifies, against a live daemon:
+//
+//   - /v1/healthz liveness and /v1/workloads registry
+//   - cold run = cache miss, replay = byte-identical cache hit,
+//     /v1/statsz reflects both
+//   - warm-start prefix: store then hit, responses equal modulo key
+//   - sampled runs: estimated block with confidence intervals, cached
+//     under a key distinct from the exact run's
+//   - sampled+warm_start is refused with the bad_request code
+//   - unknown workloads map to the unknown_workload code
+//   - the deprecated unversioned paths answer byte-identically with a
+//     Deprecation header and a successor-version link
+//   - /v1/stream reassembles byte-identically to /v1/run
+//
+// Usage: servesmoke -url http://127.0.0.1:18080
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"hpmvm/internal/api"
+	"hpmvm/internal/client"
+)
+
+func main() {
+	url := "http://127.0.0.1:18080"
+	if len(os.Args) == 3 && os.Args[1] == "-url" {
+		url = os.Args[2]
+	} else if len(os.Args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: servesmoke [-url http://host:port]")
+		os.Exit(2)
+	}
+	if err := smoke(url); err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: FAIL — %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("servesmoke: OK — cold=miss, replay=hit, warm=store then hit, sampled=estimated at its own key, v1+legacy byte-identical, stream byte-identical, error codes stable")
+}
+
+func smoke(url string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	c := client.New(client.Config{BaseURL: url})
+
+	// Liveness (the daemon calibrates workloads at startup; the boot
+	// wrapper polls healthz before invoking us, so one check suffices).
+	if err := c.Healthz(ctx); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	workloads, err := c.Workloads(ctx)
+	if err != nil || len(workloads) == 0 {
+		return fmt.Errorf("workloads: %v (%d rows)", err, len(workloads))
+	}
+
+	// Cold run, then byte-identical replay.
+	base := api.Request{Workload: "compress", Seed: 1, Monitoring: true, Interval: 25_000}
+	cold, err := c.Run(ctx, base)
+	if err != nil {
+		return fmt.Errorf("cold run: %w", err)
+	}
+	if cold.Cache != "miss" {
+		return fmt.Errorf("cold disposition %q, want miss", cold.Cache)
+	}
+	hit, err := c.Run(ctx, base)
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	if hit.Cache != "hit" {
+		return fmt.Errorf("replay disposition %q, want hit", hit.Cache)
+	}
+	if !bytes.Equal(cold.Body, hit.Body) {
+		return errors.New("cached response is not byte-identical to the cold one")
+	}
+
+	// statsz reflects the hit — on a fleet, in the per-worker rows.
+	if err := checkHits(ctx, c); err != nil {
+		return err
+	}
+
+	// Warm-start prefix: store, then a divergent budget hits, and both
+	// describe the same simulation as the cold run (modulo key).
+	warm := base
+	warm.WarmStartCycles = 2_000_000
+	warm2 := warm
+	warm2.MaxCycles = 4_000_000_000
+	w1, err := c.Run(ctx, warm)
+	if err != nil {
+		return fmt.Errorf("warm store: %w", err)
+	}
+	if w1.Snapshot != "store" {
+		return fmt.Errorf("first warm disposition %q, want store", w1.Snapshot)
+	}
+	w2, err := c.Run(ctx, warm2)
+	if err != nil {
+		return fmt.Errorf("warm divergent: %w", err)
+	}
+	if w2.Snapshot != "hit" {
+		return fmt.Errorf("divergent warm disposition %q, want hit", w2.Snapshot)
+	}
+	if err := sameModuloKey(cold.Body, w1.Body); err != nil {
+		return fmt.Errorf("warm store response: %w", err)
+	}
+	if err := sameModuloKey(cold.Body, w2.Body); err != nil {
+		return fmt.Errorf("warm divergent response: %w", err)
+	}
+
+	// Sampled: estimated block, own content address.
+	sampled := api.Request{Workload: "compress", Seed: 1, Sampled: true}
+	sres, srun, err := c.RunResponse(ctx, sampled)
+	if err != nil {
+		return fmt.Errorf("sampled run: %w", err)
+	}
+	if !sres.Sampled || sres.Estimated == nil {
+		return errors.New("sampled response lacks its estimated block")
+	}
+	if sres.Estimated.CyclesLo <= 0 || sres.Estimated.CyclesHi < sres.Estimated.CyclesLo {
+		return fmt.Errorf("sampled confidence interval degenerate: [%.0f, %.0f]",
+			sres.Estimated.CyclesLo, sres.Estimated.CyclesHi)
+	}
+	exact, err := c.Run(ctx, api.Request{Workload: "compress", Seed: 1})
+	if err != nil {
+		return fmt.Errorf("exact run: %w", err)
+	}
+	if srun.Key == "" || srun.Key == exact.Key {
+		return fmt.Errorf("sampled key %q aliases the exact key %q", srun.Key, exact.Key)
+	}
+
+	// Typed refusals: sampled+warm is bad_request, unknown workloads
+	// have their own code.
+	badReq := sampled
+	badReq.WarmStartCycles = 1_000_000
+	if err := wantCode(c, ctx, badReq, api.CodeBadRequest); err != nil {
+		return err
+	}
+	if err := wantCode(c, ctx, api.Request{Workload: "no_such_workload"}, api.CodeUnknownWorkload); err != nil {
+		return err
+	}
+
+	// Deprecated alias: byte-identical, flagged, linked to /v1.
+	if err := checkLegacyAlias(ctx, url, hit.Body); err != nil {
+		return err
+	}
+
+	// Stream: reassembles the exact one-shot bytes.
+	stream, err := c.RunStream(ctx, base, nil)
+	if err != nil {
+		return fmt.Errorf("stream run: %w", err)
+	}
+	if !bytes.Equal(stream.Body, hit.Body) {
+		return errors.New("streamed response is not byte-identical to the one-shot body")
+	}
+	if stream.Cache != "hit" {
+		return fmt.Errorf("streamed replay disposition %q, want hit", stream.Cache)
+	}
+	return nil
+}
+
+// checkHits asserts the result-cache hit shows up in statsz — directly
+// on a single server, summed over workers on a fleet.
+func checkHits(ctx context.Context, c *client.Client) error {
+	if fst, err := c.FleetStatsz(ctx); err == nil && fst.Fleet {
+		var hits uint64
+		for _, w := range fst.PerWorker {
+			if w.Statsz != nil {
+				hits += w.Statsz.Cache.Hits
+			}
+		}
+		if hits == 0 {
+			return errors.New("fleet statsz reports no cache hits after a replay")
+		}
+		return nil
+	}
+	st, err := c.Statsz(ctx)
+	if err != nil {
+		return fmt.Errorf("statsz: %w", err)
+	}
+	if st.Cache.Hits == 0 {
+		return errors.New("statsz reports no cache hits after a replay")
+	}
+	if st.Version != api.Version {
+		return fmt.Errorf("statsz version %q, want %q", st.Version, api.Version)
+	}
+	return nil
+}
+
+// sameModuloKey asserts two run responses describe the identical
+// simulation, differing at most in their content-address key.
+func sameModuloKey(a, b []byte) error {
+	var ma, mb map[string]any
+	if err := json.Unmarshal(a, &ma); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(b, &mb); err != nil {
+		return err
+	}
+	delete(ma, "key")
+	delete(mb, "key")
+	ca, _ := json.Marshal(ma)
+	cb, _ := json.Marshal(mb)
+	if !bytes.Equal(ca, cb) {
+		return errors.New("responses differ beyond the key field")
+	}
+	return nil
+}
+
+// wantCode asserts a request fails with the given stable error code.
+func wantCode(c *client.Client, ctx context.Context, req api.Request, code string) error {
+	_, err := c.Run(ctx, req)
+	var ae *api.Error
+	if !errors.As(err, &ae) {
+		return fmt.Errorf("request %+v: error %v, want %s envelope", req, err, code)
+	}
+	if ae.Code != code {
+		return fmt.Errorf("request %+v: code %q, want %q", req, ae.Code, code)
+	}
+	return nil
+}
+
+// checkLegacyAlias hits the unversioned /run with the replayed request
+// and asserts deprecation signaling plus byte-identity with /v1/run.
+func checkLegacyAlias(ctx context.Context, url string, v1Body []byte) error {
+	body := `{"workload":"compress","seed":1,"monitoring":true,"interval":25000}`
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+api.LegacyPathRun, strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("legacy /run: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("legacy /run: HTTP %d: %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get(api.HeaderDeprecation) != "true" {
+		return errors.New("legacy /run lacks the Deprecation header")
+	}
+	if link := resp.Header.Get("Link"); !strings.Contains(link, api.PathRun) {
+		return fmt.Errorf("legacy /run Link header %q does not name the successor %s", link, api.PathRun)
+	}
+	if !bytes.Equal(data, v1Body) {
+		return errors.New("legacy /run response differs from /v1/run")
+	}
+	return nil
+}
