@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke profile experiments obs serve-smoke serve-bench-smoke serve-bench verify-sampling
+.PHONY: ci vet build test race bench bench-smoke profile experiments obs serve-smoke serve-bench-smoke serve-bench verify-sampling verify-opt
 
-ci: vet build test race bench-smoke serve-smoke serve-bench-smoke
+ci: vet build test race verify-opt bench-smoke serve-smoke serve-bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +30,15 @@ test:
 verify-sampling:
 	$(GO) test -run 'TestSamplingCalibration|TestSamplingFig5Path' -v .
 
+# Optimization-framework keystones (opt_test.go): the framework-managed
+# co-allocation reproduces the recorded golden corpus bit-for-bit on
+# every workload, and an injected regressing decision is auto-reverted
+# within one assessment window for both managed kinds (coalloc and
+# codelayout). Both tests also run under `make test`; this is the
+# focused, verbose gate wired into `make ci`.
+verify-opt:
+	$(GO) test -run 'TestOptCoallocByteIdentical|TestOptRevertBadDecision' -v .
+
 # Race check on the packages the parallel engine fans runs out of:
 # the engine itself (and its determinism sweep), the workload
 # builders it invokes concurrently, the cache hot path every
@@ -41,9 +50,11 @@ verify-sampling:
 # Race instrumentation slows the workload suite well past go test's
 # default 10m timeout, hence the explicit budget. The root package
 # contributes the golden-equivalence subset (fop/compress/jess), which
-# pins the fast-path rewrite byte-for-byte under the race detector.
+# pins the fast-path rewrite byte-for-byte under the race detector;
+# internal/opt rides along because the manager's observer callbacks run
+# inside every concurrently executing monitored run.
 race:
-	$(GO) test -race -timeout 60m . ./internal/bench/... ./internal/core/... ./internal/hw/cache/... ./internal/obs/... ./internal/serve/... ./internal/api/... ./internal/client/...
+	$(GO) test -race -timeout 60m . ./internal/bench/... ./internal/core/... ./internal/hw/cache/... ./internal/obs/... ./internal/opt/... ./internal/serve/... ./internal/api/... ./internal/client/...
 
 # End-to-end hpmvmd smoke test: boot the daemon, run the client-based
 # protocol checks (scripts/servesmoke: cache byte-identity, warm-start

@@ -22,6 +22,7 @@ import (
 	"hpmvm/internal/bench"
 	_ "hpmvm/internal/bench/workloads"
 	"hpmvm/internal/core"
+	"hpmvm/internal/hw/cache"
 	"hpmvm/internal/hw/cpu"
 	"hpmvm/internal/vm/bytecode"
 )
@@ -49,6 +50,8 @@ func main() {
 	monitoring := flag.Bool("monitor", false, "enable HPM sampling")
 	interval := flag.Uint64("interval", 0, "sampling interval in events (0 = auto)")
 	coalloc := flag.Bool("coalloc", false, "enable HPM-guided co-allocation (implies -monitor)")
+	codelayout := flag.Bool("codelayout", false, "enable hot/cold code layout (implies -monitor; pair with -event l1i)")
+	event := flag.String("event", "", "sampled event: l1 (default), l2, dtlb or l1i")
 	gap := flag.Uint64("gap", 0, "pathological placement gap in bytes (Figure 8)")
 	adaptive := flag.Bool("adaptive", false, "AOS recording mode instead of the all-opt plan")
 	seed := flag.Int64("seed", 1, "PRNG seed")
@@ -71,9 +74,10 @@ func main() {
 	cfg := bench.RunConfig{
 		HeapFactor: *heapf,
 		Heap:       *heapBytes,
-		Monitoring: *monitoring || *coalloc,
+		Monitoring: *monitoring || *coalloc || *codelayout,
 		Interval:   *interval,
 		Coalloc:    *coalloc,
+		CodeLayout: *codelayout,
 		Gap:        *gap,
 		Adaptive:   *adaptive,
 		Seed:       *seed,
@@ -84,6 +88,18 @@ func main() {
 		cfg.Collector = core.GenCopy
 	default:
 		fail(fmt.Errorf("%w: unknown collector %q (genms or gencopy)", core.ErrBadOptions, *collector))
+	}
+	switch *event {
+	case "", "l1":
+		cfg.Event = cache.EventL1Miss
+	case "l2":
+		cfg.Event = cache.EventL2Miss
+	case "dtlb":
+		cfg.Event = cache.EventDTLBMiss
+	case "l1i":
+		cfg.Event = cache.EventL1IMiss
+	default:
+		fail(fmt.Errorf("%w: unknown event %q (l1, l2, dtlb or l1i)", core.ErrBadOptions, *event))
 	}
 	if *disasm != "" {
 		if err := disassemble(builder, *disasm); err != nil {
@@ -109,6 +125,9 @@ func main() {
 	if cfg.Coalloc {
 		fmt.Printf("coalloc     %d pairs (fragmentation %.1f%%)\n", res.CoallocPairs, 100*res.Fragmentation)
 	}
+	for _, k := range res.Opt {
+		fmt.Printf("opt         %s: %d decisions, %d reverts\n", k.Kind, k.Decisions, k.Reverts)
+	}
 	if cfg.Monitoring {
 		ms := res.MonitorStats
 		fmt.Printf("monitor     %d polls, %d samples (%d dropped), %d cycles\n",
@@ -129,6 +148,12 @@ func main() {
 			}
 			for _, e := range sys.Policy.Events() {
 				fmt.Printf("  %s\n", e)
+			}
+		}
+		if sys.CodeLayout != nil {
+			fmt.Println("code layout log:")
+			for _, l := range sys.CodeLayout.Log() {
+				fmt.Printf("  %s\n", l)
 			}
 		}
 		if sys.AOS != nil {

@@ -26,6 +26,7 @@ import (
 	"hpmvm/internal/hw/cache"
 	"hpmvm/internal/monitor"
 	"hpmvm/internal/obs"
+	"hpmvm/internal/opt"
 	"hpmvm/internal/stats"
 )
 
@@ -91,12 +92,15 @@ type Request struct {
 	Collector string `json:"collector,omitempty"`
 	// Monitoring enables HPM sampling; Interval is the hardware
 	// sampling interval in events (0 = adaptive auto mode). Event is
-	// "l1" (default), "l2" or "dtlb".
+	// "l1" (default), "l2", "dtlb" or "l1i".
 	Monitoring bool   `json:"monitoring,omitempty"`
 	Interval   uint64 `json:"interval,omitempty"`
 	Event      string `json:"event,omitempty"`
 	// Coalloc enables HPM-guided co-allocation (implies monitoring).
 	Coalloc bool `json:"coalloc,omitempty"`
+	// CodeLayout enables the hot/cold code-layout optimization (implies
+	// monitoring; incompatible with sampled).
+	CodeLayout bool `json:"codelayout,omitempty"`
 	// Adaptive runs AOS recording mode instead of the all-opt plan.
 	Adaptive bool `json:"adaptive,omitempty"`
 	// Seed drives the deterministic PRNG.
@@ -225,6 +229,12 @@ type Statsz struct {
 
 	Workloads []WorkloadLatency  `json:"workloads"`
 	Counters  []obs.CounterValue `json:"counters"`
+
+	// Optimizations carries one decisions/reverts counter row per
+	// managed optimization kind, summed over this server's executed
+	// runs (cache hits do not execute); sorted by kind, omitted until
+	// a run uses the optimization framework.
+	Optimizations []opt.KindStats `json:"optimizations,omitempty"`
 }
 
 // WorkerStatsz is one worker's row in a fleet statsz.
@@ -260,6 +270,10 @@ type FleetStatsz struct {
 	} `json:"routing"`
 
 	PerWorker []WorkerStatsz `json:"per_worker"`
+
+	// Optimizations sums the per-kind decision/revert counters of every
+	// reachable worker; sorted by kind, omitted while zero rows exist.
+	Optimizations []opt.KindStats `json:"optimizations,omitempty"`
 }
 
 // WorkloadInfo is one GET /v1/workloads row: a registered workload

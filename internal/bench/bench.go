@@ -18,6 +18,7 @@ import (
 	"hpmvm/internal/hw/cache"
 	"hpmvm/internal/monitor"
 	"hpmvm/internal/obs"
+	"hpmvm/internal/opt"
 	"hpmvm/internal/stats"
 	"hpmvm/internal/vm/classfile"
 	"hpmvm/internal/vm/mcmap"
@@ -162,6 +163,12 @@ type RunConfig struct {
 	// Coalloc enables HPM-guided co-allocation (implies Monitoring).
 	Coalloc bool
 
+	// CodeLayout enables the hot/cold code-layout optimization (implies
+	// Monitoring); CodeLayoutConfig optionally overrides its tuning,
+	// including the instruction-cache geometry the run opts into.
+	CodeLayout       bool
+	CodeLayoutConfig *opt.CodeLayoutConfig
+
 	// Gap, when non-zero, applies Gap padding bytes between every
 	// co-allocated parent and child from the start (ablation).
 	Gap uint64
@@ -226,6 +233,13 @@ type Result struct {
 	SamplesTaken uint64
 	Space        mcmap.SpaceStats
 
+	// Opt carries one decision/revert counter row per managed
+	// optimization (nil when none are configured).
+	Opt []opt.KindStats
+	// ICache is the instruction-cache counter set (all zero unless the
+	// codelayout optimization enabled the I-cache model).
+	ICache cache.IStats
+
 	Results []int64
 
 	// Obs is the observability snapshot, non-nil iff Config.Observe.
@@ -251,7 +265,7 @@ func (cfg RunConfig) Resolve(minHeap uint64, hotField string) core.Options {
 		}
 		heapBytes = uint64(f * float64(minHeap))
 	}
-	monitoring := cfg.Monitoring || cfg.Coalloc
+	monitoring := cfg.Monitoring || cfg.Coalloc || cfg.CodeLayout
 	track := cfg.TrackFields
 	if len(track) == 0 && hotField != "" {
 		track = []string{hotField}
@@ -279,6 +293,10 @@ func (cfg RunConfig) Resolve(minHeap uint64, hotField string) core.Options {
 		cc.RevertEnabled = !cfg.DisableRevert
 		cc.Ranked = cfg.Ranked
 		opts.CoallocConfig = &cc
+	}
+	if cfg.CodeLayout {
+		opts.Optimizations = append(opts.Optimizations,
+			core.OptimizationConfig{Kind: opt.KindCodeLayout, CodeLayout: cfg.CodeLayoutConfig})
 	}
 	return opts
 }
@@ -376,6 +394,8 @@ func collectResult(prog *Program, cfg RunConfig, heapBytes uint64, sys *core.Sys
 		res.MonitorStats = sys.Monitor.Stats()
 	}
 	res.SamplesTaken = sys.Unit.Stats().SamplesTaken
+	res.Opt = sys.OptStats()
+	res.ICache = sys.Hier().IStats()
 	if est, ok := sys.SamplingEstimate(); ok {
 		res.Estimated = &est
 	}

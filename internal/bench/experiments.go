@@ -16,7 +16,7 @@ import (
 // paper-vs-measured values.
 
 // Experiment names accepted by RunExperiment.
-var ExperimentNames = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablations", "warmstart", "sampling", "sampling-fig5"}
+var ExperimentNames = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablations", "warmstart", "sampling", "sampling-fig5", "codelayout"}
 
 // Options tunes experiment execution.
 type ExpOptions struct {
@@ -135,6 +135,8 @@ func RunExperiment(name string, opt ExpOptions) (string, error) {
 		return Sampling(opt)
 	case "sampling-fig5":
 		return SamplingFig5(opt)
+	case "codelayout":
+		return CodeLayoutExp(opt)
 	default:
 		return "", fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(ExperimentNames, ", "))
 	}

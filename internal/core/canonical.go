@@ -10,6 +10,7 @@ import (
 
 	"hpmvm/internal/coalloc"
 	"hpmvm/internal/monitor"
+	"hpmvm/internal/opt"
 	"hpmvm/internal/vm/aos"
 )
 
@@ -80,6 +81,39 @@ func (o Options) Canonical() Options {
 		mcfg.TrackFields = c.TrackFields
 		c.MonitorConfig = &mcfg
 	}
+	// Fold the optimization list: a coalloc-kind entry collapses into
+	// the legacy Coalloc switch (the two spellings wire identical
+	// systems, so they must hash identically), codelayout entries get
+	// their config materialized with defaults resolved, and the
+	// remainder — including unknown kinds, which still perturb the
+	// hash — sorts by kind. Idempotent by construction.
+	if len(c.Optimizations) > 0 {
+		rest := make([]OptimizationConfig, 0, len(c.Optimizations))
+		for _, e := range c.Optimizations {
+			switch e.Kind {
+			case opt.KindCoalloc:
+				c.Coalloc = true
+				if e.Coalloc != nil && c.CoallocConfig == nil {
+					c.CoallocConfig = e.Coalloc
+				}
+			case opt.KindCodeLayout:
+				cl := opt.DefaultCodeLayoutConfig()
+				if e.CodeLayout != nil {
+					cl = *e.CodeLayout
+				}
+				cl = cl.WithDefaults()
+				e.CodeLayout = &cl
+				rest = append(rest, e)
+			default:
+				rest = append(rest, e)
+			}
+		}
+		if len(rest) == 0 {
+			rest = nil
+		}
+		sort.SliceStable(rest, func(i, j int) bool { return rest[i].Kind < rest[j].Kind })
+		c.Optimizations = rest
+	}
 	if !c.Coalloc {
 		c.CoallocConfig = nil
 	} else if c.CoallocConfig == nil {
@@ -123,6 +157,15 @@ func canonicalString(c Options) string {
 		// the golden corpus survive the field's introduction. Non-nil
 		// configs serialize in full and hash distinctly.
 		if name == "Sampling" && v.Field(i).IsNil() {
+			continue
+		}
+		// Optimizations follows the same omit-when-empty rule: the empty
+		// list is the absence of the framework's managed set (a
+		// coalloc-only configuration folds into the legacy Coalloc
+		// fields above), so every pre-framework fingerprint — snapshot
+		// identities, serve-cache keys, the golden corpus — survives the
+		// field's introduction.
+		if name == "Optimizations" && v.Field(i).Len() == 0 {
 			continue
 		}
 		appendCanonical(&b, name, v.Field(i))

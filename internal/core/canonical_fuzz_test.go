@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hpmvm/internal/hw/cache"
+	"hpmvm/internal/opt"
 )
 
 // FuzzCanonical fuzzes the cache-key contract over the Options space:
@@ -15,14 +16,15 @@ import (
 // in CI; `go test -fuzz=FuzzCanonical ./internal/core` explores
 // further.
 func FuzzCanonical(f *testing.F) {
-	f.Add(uint8(0), uint64(0), false, uint64(0), uint8(0), false, false, int64(0), "", false, 0)
-	f.Add(uint8(1), uint64(12<<20), true, uint64(1000), uint8(1), false, false, int64(7), "String::value", true, 128)
-	f.Add(uint8(0), uint64(8<<20), true, uint64(0), uint8(2), true, true, int64(-3), "Node::next", false, 0)
-	f.Add(uint8(2), uint64(1), true, uint64(25_000), uint8(9), true, false, int64(1<<40), "a::b", true, -5)
+	f.Add(uint8(0), uint64(0), false, uint64(0), uint8(0), false, false, int64(0), "", false, 0, false, uint32(0))
+	f.Add(uint8(1), uint64(12<<20), true, uint64(1000), uint8(1), false, false, int64(7), "String::value", true, 128, true, uint32(0))
+	f.Add(uint8(0), uint64(8<<20), true, uint64(0), uint8(2), true, true, int64(-3), "Node::next", false, 0, true, uint32(4096))
+	f.Add(uint8(2), uint64(1), true, uint64(25_000), uint8(9), true, false, int64(1<<40), "a::b", true, -5, false, uint32(1))
 
 	f.Fuzz(func(t *testing.T, collector uint8, heap uint64, monitoring bool,
 		interval uint64, event uint8, coalloc, adaptive bool, seed int64,
-		track string, observe bool, traceCap int) {
+		track string, observe bool, traceCap int,
+		codeLayout bool, icacheSize uint32) {
 		o := Options{
 			Collector:        CollectorKind(collector % 2),
 			HeapLimit:        heap,
@@ -37,6 +39,14 @@ func FuzzCanonical(f *testing.F) {
 		}
 		if track != "" {
 			o.TrackFields = []string{track}
+		}
+		if codeLayout {
+			var cfg *opt.CodeLayoutConfig
+			if icacheSize != 0 {
+				cfg = &opt.CodeLayoutConfig{ICacheSize: int(icacheSize)}
+			}
+			o.Optimizations = append(o.Optimizations,
+				OptimizationConfig{Kind: opt.KindCodeLayout, CodeLayout: cfg})
 		}
 
 		// Canonicalization is idempotent: a canonical form is its own
@@ -83,6 +93,37 @@ func FuzzCanonical(f *testing.F) {
 		passive.TraceCapacity = o.TraceCapacity + 1
 		if passive.Fingerprint() != fp {
 			t.Fatalf("passive obs fields perturbed Fingerprint")
+		}
+
+		// The optimization list's two co-allocation spellings are one
+		// configuration: folding the legacy Coalloc switch into a
+		// coalloc-kind entry must not move the key.
+		if coalloc {
+			folded := o
+			folded.Coalloc = false
+			folded.Optimizations = append([]OptimizationConfig{{Kind: opt.KindCoalloc}},
+				o.Optimizations...)
+			if folded.Fingerprint() != fp {
+				t.Fatalf("coalloc-kind entry hashes differently from the legacy Coalloc switch:\n legacy %s\n entry  %s",
+					o.CanonicalString(), folded.CanonicalString())
+			}
+		}
+
+		// An empty (non-nil) list is the absence of the framework.
+		empty := o
+		empty.Optimizations = append([]OptimizationConfig{}, o.Optimizations...)
+		if empty.Fingerprint() != fp {
+			t.Fatalf("re-sliced optimization list perturbed Fingerprint")
+		}
+
+		// A codelayout entry is semantic: adding one must move the key.
+		withCL := o
+		if !codeLayout {
+			withCL.Optimizations = append([]OptimizationConfig{{Kind: opt.KindCodeLayout}},
+				o.Optimizations...)
+			if withCL.Fingerprint() == fp {
+				t.Fatalf("codelayout entry did not perturb Fingerprint")
+			}
 		}
 	})
 }

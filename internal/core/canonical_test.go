@@ -7,6 +7,7 @@ import (
 	"hpmvm/internal/coalloc"
 	"hpmvm/internal/hw/cache"
 	"hpmvm/internal/monitor"
+	"hpmvm/internal/opt"
 	"hpmvm/internal/vm/aos"
 	"hpmvm/internal/vm/runtime"
 )
@@ -26,6 +27,10 @@ func fullBase() Options {
 		Adaptive:         true,
 		Seed:             7,
 		TrackFields:      []string{"String::value"},
+		// A codelayout entry (not a coalloc one: that would fold into the
+		// legacy Coalloc switch and mask its mutation) keeps the
+		// optimization list live in the base hash.
+		Optimizations: []OptimizationConfig{{Kind: opt.KindCodeLayout}},
 	}
 }
 
@@ -170,6 +175,76 @@ func TestCanonicalDefaultEquivalence(t *testing.T) {
 	sampledCoarse := Options{Seed: 1, Sampling: &coarse}
 	if sampled.Fingerprint() == sampledCoarse.Fingerprint() {
 		t.Error("distinct sampling schedules fingerprint identically")
+	}
+}
+
+// TestCanonicalOptimizationsEquivalence pins the cache-key contract of
+// the generalized optimization list: the two spellings of co-allocation
+// (legacy Coalloc switch, coalloc-kind entry) wire identical systems
+// and must hash identically; codelayout configs resolve defaults before
+// hashing; the empty list is the absence of the framework, so every
+// pre-framework fingerprint survives the field's introduction.
+func TestCanonicalOptimizationsEquivalence(t *testing.T) {
+	ccfg := coalloc.DefaultConfig()
+	clDef := opt.DefaultCodeLayoutConfig()
+	clRes := clDef.WithDefaults()
+
+	equal := []struct {
+		name string
+		a, b Options
+	}{
+		{"legacy Coalloc vs coalloc-kind entry",
+			Options{Monitoring: true, Coalloc: true},
+			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: opt.KindCoalloc}}}},
+		{"legacy CoallocConfig vs entry config",
+			Options{Monitoring: true, Coalloc: true, CoallocConfig: &ccfg},
+			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: opt.KindCoalloc, Coalloc: &ccfg}}}},
+		{"both spellings at once vs one",
+			Options{Monitoring: true, Coalloc: true,
+				Optimizations: []OptimizationConfig{{Kind: opt.KindCoalloc}}},
+			Options{Monitoring: true, Coalloc: true}},
+		{"nil vs default codelayout config",
+			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: opt.KindCodeLayout}}},
+			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: opt.KindCodeLayout, CodeLayout: &clDef}}}},
+		{"default vs defaults-resolved codelayout config",
+			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: opt.KindCodeLayout, CodeLayout: &clDef}}},
+			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: opt.KindCodeLayout, CodeLayout: &clRes}}}},
+		{"nil vs empty optimization list",
+			Options{Seed: 5},
+			Options{Seed: 5, Optimizations: []OptimizationConfig{}}},
+		{"entry order is canonicalized",
+			Options{Monitoring: true, Optimizations: []OptimizationConfig{
+				{Kind: opt.KindCodeLayout}, {Kind: opt.KindCoalloc}}},
+			Options{Monitoring: true, Optimizations: []OptimizationConfig{
+				{Kind: opt.KindCoalloc}, {Kind: opt.KindCodeLayout}}}},
+	}
+	for _, tc := range equal {
+		if ha, hb := tc.a.Fingerprint(), tc.b.Fingerprint(); ha != hb {
+			t.Errorf("%s: fingerprints differ\n aStr=%s\n bStr=%s",
+				tc.name, tc.a.CanonicalString(), tc.b.CanonicalString())
+		}
+	}
+
+	distinct := []struct {
+		name string
+		a, b Options
+	}{
+		{"codelayout presence",
+			Options{Monitoring: true},
+			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: opt.KindCodeLayout}}}},
+		{"codelayout tuning",
+			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: opt.KindCodeLayout}}},
+			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: opt.KindCodeLayout,
+				CodeLayout: &opt.CodeLayoutConfig{ICacheSize: 2 << 10}}}}},
+		{"unknown kinds still perturb the hash",
+			Options{Monitoring: true},
+			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: "future"}}}},
+	}
+	for _, tc := range distinct {
+		if tc.a.Fingerprint() == tc.b.Fingerprint() {
+			t.Errorf("%s: fingerprints collapse\n aStr=%s\n bStr=%s",
+				tc.name, tc.a.CanonicalString(), tc.b.CanonicalString())
+		}
 	}
 }
 

@@ -35,6 +35,7 @@ import (
 	"hpmvm/internal/kernel/perfmon"
 	"hpmvm/internal/monitor"
 	"hpmvm/internal/obs"
+	"hpmvm/internal/opt"
 	"hpmvm/internal/stats"
 	"hpmvm/internal/vm/aos"
 	"hpmvm/internal/vm/classfile"
@@ -84,6 +85,14 @@ type Options struct {
 	Coalloc       bool
 	CoallocConfig *coalloc.Config // optional overrides
 
+	// Optimizations selects managed online optimizations by kind
+	// (opt.KindCoalloc, opt.KindCodeLayout), each with an optional
+	// per-kind config. The legacy Coalloc switch is shorthand for (and
+	// mutually exclusive with) a coalloc-kind entry; the two spellings
+	// canonicalize — and therefore fingerprint — identically. Every
+	// entry requires Monitoring (the pipeline consumes HPM samples).
+	Optimizations []OptimizationConfig
+
 	// Adaptive enables the AOS sampler for recompilation (plan
 	// recording mode). The measured configurations instead replay a
 	// pre-generated plan (§6.1).
@@ -130,6 +139,12 @@ type System struct {
 	Monitor *monitor.Monitor
 	Policy  *coalloc.Policy
 	AOS     *aos.AOS
+
+	// OptManager drives the managed optimizations (non-nil iff any are
+	// configured); CodeLayout is the code-layout optimization when
+	// enabled.
+	OptManager *opt.Manager
+	CodeLayout *opt.CodeLayout
 
 	GenMS   *genms.Collector
 	GenCopy *gencopy.Collector
@@ -247,15 +262,36 @@ func NewSystemOpts(u *classfile.Universe, opts Options) (*System, error) {
 		mcfg.TrackFields = opts.TrackFields
 		s.Monitor = monitor.New(s.VM, s.Module, mcfg)
 
-		if opts.Coalloc {
-			ccfg := coalloc.DefaultConfig()
-			if opts.CoallocConfig != nil {
-				ccfg = *opts.CoallocConfig
-			}
-			s.Policy = coalloc.New(s.Monitor, ccfg)
-			if s.GenMS != nil {
-				s.GenMS.SetAdvisor(s.Policy)
-				s.Monitor.SetClassifier(s.GenMS.ClassifyAddr)
+		if optcfgs := opts.effectiveOptimizations(); len(optcfgs) > 0 {
+			// The manager registers its monitor observer at exactly the
+			// point the pre-framework coalloc.New registered its own —
+			// monitor observer order is part of the byte-identity
+			// contract the golden corpus pins.
+			s.OptManager = opt.NewManager(s.Monitor)
+			for _, oc := range optcfgs {
+				switch oc.Kind {
+				case opt.KindCoalloc:
+					ccfg := coalloc.DefaultConfig()
+					if oc.Coalloc != nil {
+						ccfg = *oc.Coalloc
+					}
+					s.Policy = coalloc.NewPolicy(s.Monitor, ccfg)
+					s.OptManager.Register(s.Policy)
+					if s.GenMS != nil {
+						s.GenMS.SetAdvisor(s.Policy)
+						s.Monitor.SetClassifier(s.GenMS.ClassifyAddr)
+					}
+				case opt.KindCodeLayout:
+					clcfg := opt.DefaultCodeLayoutConfig()
+					if oc.CodeLayout != nil {
+						clcfg = *oc.CodeLayout
+					}
+					clcfg = clcfg.WithDefaults()
+					s.VM.Hier.EnableICache(clcfg.ICacheSize, clcfg.ICacheAssoc)
+					s.VM.CPU.SetIFetch(s.VM.Hier.IFetch, opts.Cache.LineSize)
+					s.CodeLayout = opt.NewCodeLayout(s.VM, s.Monitor, clcfg)
+					s.OptManager.Register(s.CodeLayout)
+				}
 			}
 		}
 	}
@@ -304,6 +340,9 @@ func (s *System) attachObserver(traceCapacity int) {
 	}
 	if s.Policy != nil {
 		s.Policy.SetObserver(o)
+	}
+	if s.OptManager != nil {
+		s.OptManager.SetObserver(o)
 	}
 
 	recompiles := o.Counter("vm.recompiles")
@@ -488,4 +527,13 @@ func (s *System) CoallocPairs() uint64 {
 // GCStats returns (minor, major) collection counts.
 func (s *System) GCStats() (uint64, uint64) {
 	return s.VM.Collector.Collections()
+}
+
+// OptStats returns one decision/revert counter row per managed
+// optimization, in registration order (nil when none are configured).
+func (s *System) OptStats() []opt.KindStats {
+	if s.OptManager == nil {
+		return nil
+	}
+	return s.OptManager.Stats()
 }

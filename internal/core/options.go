@@ -3,10 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"hpmvm/internal/coalloc"
 	"hpmvm/internal/hw/cache"
 	"hpmvm/internal/monitor"
+	"hpmvm/internal/opt"
 	"hpmvm/internal/vm/aos"
 	"hpmvm/internal/vm/runtime"
 )
@@ -15,6 +17,46 @@ import (
 // failure; callers distinguish configuration mistakes from run
 // failures with errors.Is(err, core.ErrBadOptions).
 var ErrBadOptions = errors.New("invalid options")
+
+// OptimizationConfig selects one managed online optimization by kind,
+// with an optional per-kind tuning config (nil selects the kind's
+// defaults). Exactly the config matching Kind may be set.
+type OptimizationConfig struct {
+	// Kind is the optimization name: opt.KindCoalloc or
+	// opt.KindCodeLayout.
+	Kind string
+	// Coalloc tunes a coalloc-kind entry.
+	Coalloc *coalloc.Config
+	// CodeLayout tunes a codelayout-kind entry.
+	CodeLayout *opt.CodeLayoutConfig
+}
+
+// effectiveOptimizations resolves the two configuration spellings into
+// the list NewSystemOpts wires: the legacy Coalloc switch and a
+// coalloc-kind entry merge into one leading coalloc entry (the policy
+// always registers first, preserving the pre-framework observer
+// order), and the remaining entries follow sorted by kind.
+func (o Options) effectiveOptimizations() []OptimizationConfig {
+	hasCoalloc := o.Coalloc
+	coallocCfg := o.CoallocConfig
+	var rest []OptimizationConfig
+	for _, e := range o.Optimizations {
+		if e.Kind == opt.KindCoalloc {
+			hasCoalloc = true
+			if e.Coalloc != nil {
+				coallocCfg = e.Coalloc
+			}
+			continue
+		}
+		rest = append(rest, e)
+	}
+	sort.SliceStable(rest, func(i, j int) bool { return rest[i].Kind < rest[j].Kind })
+	var out []OptimizationConfig
+	if hasCoalloc {
+		out = append(out, OptimizationConfig{Kind: opt.KindCoalloc, Coalloc: coallocCfg})
+	}
+	return append(out, rest...)
+}
 
 // Option is a functional setting applied by NewSystemWith. Options
 // layer over the Options struct: every Option is a small mutation of
@@ -69,6 +111,22 @@ func WithCoallocConfig(cfg coalloc.Config) Option {
 	return func(o *Options) {
 		o.Coalloc = true
 		o.CoallocConfig = &cfg
+	}
+}
+
+// WithCodeLayout enables the hot/cold code-layout optimization.
+// Requires monitoring (validated).
+func WithCodeLayout() Option {
+	return func(o *Options) {
+		o.Optimizations = append(o.Optimizations, OptimizationConfig{Kind: opt.KindCodeLayout})
+	}
+}
+
+// WithCodeLayoutConfig enables code layout with explicit tuning.
+func WithCodeLayoutConfig(cfg opt.CodeLayoutConfig) Option {
+	return func(o *Options) {
+		o.Optimizations = append(o.Optimizations,
+			OptimizationConfig{Kind: opt.KindCodeLayout, CodeLayout: &cfg})
 	}
 }
 
@@ -142,6 +200,40 @@ func (o Options) Validate() error {
 	}
 	if o.AOSConfig != nil && !o.Adaptive {
 		return fmt.Errorf("core: %w: AOSConfig set without Adaptive", ErrBadOptions)
+	}
+	seen := make(map[string]bool, len(o.Optimizations))
+	for i, e := range o.Optimizations {
+		if seen[e.Kind] {
+			return fmt.Errorf("core: %w: duplicate optimization kind %q", ErrBadOptions, e.Kind)
+		}
+		seen[e.Kind] = true
+		switch e.Kind {
+		case opt.KindCoalloc:
+			if e.CodeLayout != nil {
+				return fmt.Errorf("core: %w: coalloc optimization entry carries a CodeLayout config", ErrBadOptions)
+			}
+			if o.Coalloc {
+				return fmt.Errorf("core: %w: both the legacy Coalloc switch and a coalloc optimization entry are set", ErrBadOptions)
+			}
+			if !o.Monitoring {
+				return fmt.Errorf("core: %w: the coalloc optimization requires Monitoring (the policy consumes HPM samples)", ErrBadOptions)
+			}
+			if o.Collector == GenCopy {
+				return fmt.Errorf("core: %w: the coalloc optimization requires the GenMS collector (GenCopy cannot co-allocate)", ErrBadOptions)
+			}
+		case opt.KindCodeLayout:
+			if e.Coalloc != nil {
+				return fmt.Errorf("core: %w: codelayout optimization entry carries a Coalloc config", ErrBadOptions)
+			}
+			if !o.Monitoring {
+				return fmt.Errorf("core: %w: the codelayout optimization requires Monitoring (hotness comes from HPM samples)", ErrBadOptions)
+			}
+			if o.Sampling != nil {
+				return fmt.Errorf("core: %w: the codelayout optimization is not supported in sampled mode (relocation changes the fetch cost model mid-run)", ErrBadOptions)
+			}
+		default:
+			return fmt.Errorf("core: %w: unknown optimization kind %q (entry %d)", ErrBadOptions, e.Kind, i)
+		}
 	}
 	return nil
 }

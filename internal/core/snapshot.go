@@ -90,6 +90,9 @@ func (s *System) components() []component {
 	if s.Policy != nil {
 		list = append(list, component{"coalloc", s.Policy})
 	}
+	if s.CodeLayout != nil {
+		list = append(list, component{"opt/codelayout", s.CodeLayout})
+	}
 	if s.AOS != nil {
 		list = append(list, component{"vm/aos", s.AOS})
 	}

@@ -28,6 +28,11 @@ const (
 	EventL2Miss
 	// EventDTLBMiss fires on every data-TLB miss.
 	EventDTLBMiss
+	// EventL1IMiss fires on every instruction-cache miss, with addr the
+	// fetched PC. Only raised when the opt-in I-cache model is enabled
+	// (EnableICache); kept distinct from EventL1Miss so a PEBS session
+	// sampling data misses never sees code addresses as data addresses.
+	EventL1IMiss
 	// NumEventKinds bounds the valid kinds; values in [0, NumEventKinds)
 	// are samplable events.
 	NumEventKinds
@@ -42,6 +47,8 @@ func (k EventKind) String() string {
 		return "L2_MISS"
 	case EventDTLBMiss:
 		return "DTLB_MISS"
+	case EventL1IMiss:
+		return "L1I_MISS"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -393,6 +400,21 @@ func ratio(num, den uint64) float64 {
 	return float64(num) / float64(den)
 }
 
+// IStats aggregates the opt-in instruction-cache counters. It is a
+// separate struct from Stats on purpose: Stats' %+v rendering is
+// frozen by the golden result fingerprints, so I-side counters must
+// never be added there.
+type IStats struct {
+	Fetches  uint64 // I-fetch probes (one per cache-line transition)
+	Misses   uint64 // L1I misses
+	MemFills uint64 // L1I misses that also missed the unified L2
+	Cycles   uint64 // fetch stall cycles charged
+}
+
+// MissRate returns L1I misses per fetch probe — the code-layout
+// optimization's assessment signal.
+func (s IStats) MissRate() float64 { return ratio(s.Misses, s.Fetches) }
+
 // stream is one tracked prefetch stream.
 type stream struct {
 	lastLine uint64
@@ -408,6 +430,12 @@ type Hierarchy struct {
 	l1       *setAssoc
 	l2       *setAssoc
 	tlb      *setAssoc
+	// l1i, when non-nil, is the opt-in instruction cache
+	// (EnableICache): probed by IFetch on code-line transitions,
+	// backed by the unified L2. Disabled (nil) for every
+	// pre-framework configuration, so golden timing is untouched.
+	l1i    *setAssoc
+	istats IStats
 	streams  []stream
 	stamp    uint64
 	stats    Stats
@@ -512,6 +540,58 @@ func (h *Hierarchy) Config() Config { return h.cfg }
 // Stats returns a snapshot of the counters.
 func (h *Hierarchy) Stats() Stats { return h.stats }
 
+// EnableICache attaches the opt-in instruction-cache model: a small
+// L1I of the given total size and associativity (sharing the unified
+// L2 and the line size) probed by IFetch. Geometry must be powers of
+// two, like the data-side arrays. Must be called before the first
+// access and before Snapshot/Restore; calling it twice replaces the
+// array. There is no ITLB: code occupies a handful of pages that the
+// real machine's ITLB covers trivially.
+func (h *Hierarchy) EnableICache(size, assoc int) {
+	if size <= 0 || size&(size-1) != 0 || assoc <= 0 || assoc&(assoc-1) != 0 ||
+		size < h.cfg.LineSize*assoc {
+		panic(fmt.Sprintf("cache: bad I-cache geometry size=%d assoc=%d line=%d",
+			size, assoc, h.cfg.LineSize))
+	}
+	h.l1i = newSetAssoc(size/h.cfg.LineSize, assoc, h.lineBits)
+	h.istats = IStats{}
+}
+
+// ICacheEnabled reports whether the instruction-cache model is on.
+func (h *Hierarchy) ICacheEnabled() bool { return h.l1i != nil }
+
+// IStats returns the instruction-cache counters.
+func (h *Hierarchy) IStats() IStats { return h.istats }
+
+// IFetch simulates the instruction fetch of the line holding addr and
+// returns the stall cycles. The CPU calls it once per code-line
+// transition: an L1I hit overlaps with execution and costs nothing; a
+// miss is filled from the unified L2 (L2HitCycles) or memory
+// (+MemCycles) and raises EventL1IMiss. The fetch is a read probe of
+// the shared L2, so heavy I-misses evict data lines — the contention
+// hot/cold code layout exists to avoid.
+func (h *Hierarchy) IFetch(addr uint64) uint64 {
+	st := &h.istats
+	st.Fetches++
+	lineAddr := addr >> h.lineBits
+	if h.l1i.probe(lineAddr, false) {
+		return 0
+	}
+	h.l1i.fill(lineAddr, false)
+	st.Misses++
+	cycles := h.cfg.L2HitCycles
+	if h.listener != nil {
+		h.listener.HardwareEvent(EventL1IMiss, addr)
+	}
+	if !h.l2.probe(lineAddr, false) {
+		h.l2.fill(lineAddr, false)
+		st.MemFills++
+		cycles += h.cfg.MemCycles
+	}
+	st.Cycles += cycles
+	return cycles
+}
+
 // ResetStats closes the current measurement window: the counters are
 // zeroed and the prefetched-line attribution set is cleared, so the
 // next window's PrefetchHits only count prefetches issued inside that
@@ -529,6 +609,7 @@ func (h *Hierarchy) ResetStats() {
 		h.obs.Emit(obs.EvCacheWindow, h.obsNow(), st.Accesses, st.L1Misses, st.Cycles)
 	}
 	h.stats = Stats{}
+	h.istats = IStats{}
 	if h.prefetched.Len() != 0 {
 		h.prefetched.Clear()
 	}
@@ -540,6 +621,9 @@ func (h *Hierarchy) Flush() {
 	h.l1.invalidateAll()
 	h.l2.invalidateAll()
 	h.tlb.invalidateAll()
+	if h.l1i != nil {
+		h.l1i.invalidateAll()
+	}
 	for i := range h.streams {
 		h.streams[i] = stream{}
 	}

@@ -61,14 +61,16 @@ func TestAccessFingerprint(t *testing.T) {
 		listener bool
 		want     string
 	}{
+		// The trailing ev slot is EventL1IMiss: always zero here because
+		// these runs never enable the instruction cache.
 		{"p4-nolistener", DefaultP4(), false,
-			"cyc=23956378 acc=200000 ld=175000 st=25000 l1=106016 l2=93564 tlb=97843 wb=49965 pf=7 pfh=6 stc=23956378 ev=[0 0 0]"},
+			"cyc=23956378 acc=200000 ld=175000 st=25000 l1=106016 l2=93564 tlb=97843 wb=49965 pf=7 pfh=6 stc=23956378 ev=[0 0 0 0]"},
 		{"p4-listener", DefaultP4(), true,
-			"cyc=23956378 acc=200000 ld=175000 st=25000 l1=106016 l2=93564 tlb=97843 wb=49965 pf=7 pfh=6 stc=23956378 ev=[106016 93564 97843]"},
+			"cyc=23956378 acc=200000 ld=175000 st=25000 l1=106016 l2=93564 tlb=97843 wb=49965 pf=7 pfh=6 stc=23956378 ev=[106016 93564 97843 0]"},
 		{"p4-noprefetch", nopf, true,
-			"cyc=23955996 acc=200000 ld=175000 st=25000 l1=106017 l2=93562 tlb=97843 wb=49965 pf=0 pfh=0 stc=23955996 ev=[106017 93562 97843]"},
+			"cyc=23955996 acc=200000 ld=175000 st=25000 l1=106017 l2=93562 tlb=97843 wb=49965 pf=0 pfh=0 stc=23955996 ev=[106017 93562 97843 0]"},
 		{"tiny", tiny(), true,
-			"cyc=14787820 acc=200000 ld=175000 st=25000 l1=121854 l2=113683 tlb=100049 wb=49998 pf=0 pfh=0 stc=14787820 ev=[121854 113683 100049]"},
+			"cyc=14787820 acc=200000 ld=175000 st=25000 l1=121854 l2=113683 tlb=100049 wb=49998 pf=0 pfh=0 stc=14787820 ev=[121854 113683 100049 0]"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

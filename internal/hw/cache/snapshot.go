@@ -95,6 +95,18 @@ func (h *Hierarchy) Snapshot() snap.ComponentState {
 	for _, k := range keys {
 		w.U64(k)
 	}
+	// Opt-in I-cache tail, present exactly when the model is enabled.
+	// The fingerprint binding guarantees Restore runs under the same
+	// Options and therefore the same gating, so pre-existing snapshots
+	// (no I-cache) keep their exact bytes.
+	if h.l1i != nil {
+		h.l1i.encode(&w)
+		ist := h.istats
+		w.U64(ist.Fetches)
+		w.U64(ist.Misses)
+		w.U64(ist.MemFills)
+		w.U64(ist.Cycles)
+	}
 	return snap.ComponentState{Component: snapComponent, Version: snapVersion, Data: w.Bytes()}
 }
 
@@ -147,10 +159,21 @@ func (h *Hierarchy) Restore(st snap.ComponentState) error {
 		pref.Add(k)
 		mask |= 1 << (k & 63)
 	}
+	var istats IStats
+	if h.l1i != nil {
+		if err := h.l1i.decode(r, "l1i"); err != nil {
+			return err
+		}
+		istats.Fetches = r.U64()
+		istats.Misses = r.U64()
+		istats.MemFills = r.U64()
+		istats.Cycles = r.U64()
+	}
 	if err := r.Close(); err != nil {
 		return err
 	}
 	h.stats = stats
+	h.istats = istats
 	h.prefetched = pref
 	h.pfMask = mask
 	return nil

@@ -86,6 +86,19 @@ type CPU struct {
 	// hook. The check itself costs BarrierCycles.
 	Barrier func(slotAddr, value uint64)
 
+	// ifetch, when non-nil, models instruction fetch (the opt-in
+	// I-cache of the code-layout optimization): it is called once per
+	// code-line transition with the new PC and returns the stall
+	// cycles. lastFetchLine tracks the line the front end last fetched
+	// so straight-line execution inside one line costs nothing, and so
+	// the check is idempotent — runLoop and Step both test it, which
+	// makes runLoop's delegation to Step charge each fetch exactly
+	// once. Nil for every pre-framework configuration: the nil test is
+	// the only new work on the hot path.
+	ifetch        func(pc uint64) uint64
+	ifetchShift   uint
+	lastFetchLine uint64
+
 	cycles   uint64
 	instret  uint64
 	halted   bool
@@ -139,6 +152,23 @@ func (c *CPU) SampleRegs(dst *[pebs.NumRegs]uint64) { *dst = c.Regs }
 
 // CycleCount implements pebs.CPUState.
 func (c *CPU) CycleCount() uint64 { return c.cycles }
+
+// SetIFetch installs (or, with nil, removes) the instruction-fetch
+// hook. lineSize is the fetch granularity in bytes (the I-cache line
+// size; a power of two). Installing the hook invalidates the
+// predecoded image: AddImm+Ld8 fusion is disabled under instruction
+// fetch so every instruction passes the loop-top line-transition
+// check (a fused tail crossing a line boundary would otherwise skip
+// its fetch).
+func (c *CPU) SetIFetch(fn func(pc uint64) uint64, lineSize int) {
+	c.ifetch = fn
+	c.ifetchShift = 0
+	for 1<<c.ifetchShift < lineSize {
+		c.ifetchShift++
+	}
+	c.lastFetchLine = ^uint64(0)
+	c.dec = nil
+}
 
 // UserMode reports whether the CPU is executing application code (as
 // opposed to VM services: GC, sample processing, compilation). Hardware
@@ -267,6 +297,12 @@ func (c *CPU) Step() bool {
 	}
 	in := c.code[idx]
 	next := c.PC + InstrBytes
+	if c.ifetch != nil {
+		if line := c.PC >> c.ifetchShift; line != c.lastFetchLine {
+			c.lastFetchLine = line
+			c.cycles += c.ifetch(c.PC)
+		}
+	}
 	c.cycles++
 	c.instret++
 

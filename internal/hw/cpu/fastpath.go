@@ -86,8 +86,11 @@ func (c *CPU) predecode() {
 		// dispatch when control falls through the AddImm. Both halves
 		// keep their own cycle/instret charges and horizon checks, and
 		// the Ld8's standalone entry still exists for jumps into it,
-		// so fusion changes host work only.
-		if in.Op == OpAddImm && i+1 < len(c.code) && c.code[i+1].Op == OpLd8 {
+		// so fusion changes host work only. With instruction fetch
+		// modeled, fusion is disabled: the fused tail bypasses the
+		// loop-top line-transition check, so a pair straddling a code
+		// line would skip the tail's fetch.
+		if in.Op == OpAddImm && i+1 < len(c.code) && c.code[i+1].Op == OpLd8 && c.ifetch == nil {
 			d.fuse = 1
 		}
 	}
@@ -148,6 +151,7 @@ func (c *CPU) runLoop(cycleHorizon, budget uint64) uint64 {
 	cyc := c.cycles
 	ins := c.instret
 	startBudget := budget
+	ifetchOn := c.ifetch != nil
 
 run:
 	for !c.halted && cyc < cycleHorizon && budget != 0 {
@@ -161,6 +165,17 @@ run:
 			c.fault("PC beyond installed code")
 		}
 		d := &dec[idx]
+		if ifetchOn {
+			if line := pc >> c.ifetchShift; line != c.lastFetchLine {
+				// Same flush-reload discipline as a data access: the
+				// fetch can miss, fire the listener, and run PEBS
+				// capture, all of which must see live counters.
+				c.lastFetchLine = line
+				c.PC, c.cycles, c.instret = pc, cyc, ins
+				cost := c.ifetch(pc)
+				cyc = c.cycles + cost
+			}
+		}
 		budget--
 		cyc++
 		ins++

@@ -9,10 +9,12 @@
 // every instruction has a unique code address, so the PEBS unit can
 // report the exact instruction that caused a sampled event, and the
 // compilers can keep machine-code maps from those addresses back to
-// bytecode. Instruction fetch is not simulated (the paper samples data
-// events: L1/L2/DTLB misses, §4.1); each instruction occupies one
-// 4-byte slot of code address space, approximating x86 code density for
-// the Table 2 space-overhead accounting.
+// bytecode. Instruction fetch is not simulated by default (the paper
+// samples data events: L1/L2/DTLB misses, §4.1); the code-layout
+// optimization opts into an instruction-fetch model via SetIFetch.
+// Each instruction occupies one 4-byte slot of code address space,
+// approximating x86 code density for the Table 2 space-overhead
+// accounting.
 package cpu
 
 import "fmt"

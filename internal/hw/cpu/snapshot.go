@@ -34,6 +34,12 @@ func (c *CPU) Snapshot() snap.ComponentState {
 	w.Bool(c.usermode)
 	w.I64(c.exitStatus)
 	w.U64(uint64(len(c.code)))
+	// Opt-in instruction-fetch tail, present exactly when the ifetch
+	// hook is installed (same Options on both sides of a restore, so
+	// pre-existing snapshots keep their exact bytes).
+	if c.ifetch != nil {
+		w.U64(c.lastFetchLine)
+	}
 	return snap.ComponentState{Component: snapComponent, Version: snapVersion, Data: w.Bytes()}
 }
 
@@ -58,6 +64,10 @@ func (c *CPU) Restore(st snap.ComponentState) error {
 	usermode := r.Bool()
 	exitStatus := r.I64()
 	codeLen := r.U64()
+	lastFetchLine := ^uint64(0)
+	if c.ifetch != nil {
+		lastFetchLine = r.U64()
+	}
 	if err := r.Close(); err != nil {
 		return err
 	}
@@ -74,5 +84,6 @@ func (c *CPU) Restore(st snap.ComponentState) error {
 	c.halted = halted
 	c.usermode = usermode
 	c.exitStatus = exitStatus
+	c.lastFetchLine = lastFetchLine
 	return nil
 }

@@ -1,0 +1,110 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+
+	"hpmvm/internal/vm/classfile"
+)
+
+// poll is one scripted flushPeriod invocation: the cycle counter at
+// poll time and the sample weight attributed since the previous poll.
+type poll struct {
+	now    uint64
+	weight uint64
+}
+
+// point is one expected Series/RateSeries entry.
+type point struct {
+	at     uint64
+	misses float64
+	rate   float64
+}
+
+// TestFlushPeriodBoundary pins the measurement-period convention:
+// periods are half-open [start, end) over the cycle counter, so a poll
+// landing on the exact cycle the previous period closed at (possible
+// only with zero-cost polls) leaves the period open instead of
+// flushing a zero-length window. The regression it guards: flushing at
+// elapsed == 0 divided the period weight by zero — an infinite rate
+// point that poisoned the rate series the co-allocation policy and the
+// phase detector read — and silently discarded the weight accumulated
+// since the boundary poll.
+func TestFlushPeriodBoundary(t *testing.T) {
+	cases := []struct {
+		name      string
+		polls     []poll
+		want      []point
+		lastFlush uint64
+	}{
+		{
+			name:      "distinct polls close distinct periods",
+			polls:     []poll{{100, 5}, {300, 8}},
+			want:      []point{{100, 5, 5e6 / 100}, {300, 8, 8e6 / 200}},
+			lastFlush: 300,
+		},
+		{
+			name: "boundary poll leaves the period open",
+			// The second poll lands exactly on the first period's close;
+			// its weight must survive into the period closed at 150.
+			polls:     []poll{{100, 5}, {100, 3}, {150, 2}},
+			want:      []point{{100, 5, 5e6 / 100}, {150, 5, 5e6 / 50}},
+			lastFlush: 150,
+		},
+		{
+			name: "repeated boundary polls accumulate one period",
+			polls: []poll{
+				{100, 1}, {100, 1}, {100, 1}, {100, 1}, {200, 1},
+			},
+			want:      []point{{100, 1, 1e6 / 100}, {200, 4, 4e6 / 100}},
+			lastFlush: 200,
+		},
+		{
+			name: "poll at cycle zero never flushes",
+			// The very first period starts at cycle 0; a poll still at 0
+			// has nothing to close.
+			polls:     []poll{{0, 4}, {80, 0}},
+			want:      []point{{80, 4, 4e6 / 80}},
+			lastFlush: 80,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := classfile.NewUniverse()
+			cl := u.DefineClass("C", nil)
+			f := u.AddField(cl, "f", classfile.KindRef)
+			u.Layout()
+
+			fc := &FieldCounter{Field: f}
+			m := &Monitor{fields: map[int]*FieldCounter{f.ID: fc}}
+			for _, p := range tc.polls {
+				fc.periodSamples += p.weight
+				fc.periodWeight += p.weight
+				m.flushPeriod(p.now)
+			}
+
+			if m.lastFlush != tc.lastFlush {
+				t.Errorf("lastFlush = %d, want %d", m.lastFlush, tc.lastFlush)
+			}
+			if got := fc.Series.Len(); got != len(tc.want) {
+				t.Fatalf("series has %d points, want %d (%v)", got, len(tc.want), fc.Series.Samples)
+			}
+			if rl := fc.RateSeries.Len(); rl != fc.Series.Len() {
+				t.Fatalf("rate series has %d points, misses series %d", rl, fc.Series.Len())
+			}
+			for i, w := range tc.want {
+				s, r := fc.Series.Samples[i], fc.RateSeries.Samples[i]
+				if s.Time != w.at || r.Time != w.at {
+					t.Errorf("point %d at cycles %d/%d, want %d", i, s.Time, r.Time, w.at)
+				}
+				if s.Value != w.misses {
+					t.Errorf("point %d misses = %v, want %v", i, s.Value, w.misses)
+				}
+				if math.Abs(r.Value-w.rate) > 1e-9 || math.IsInf(r.Value, 0) || math.IsNaN(r.Value) {
+					t.Errorf("point %d rate = %v, want %v", i, r.Value, w.rate)
+				}
+			}
+		})
+	}
+}

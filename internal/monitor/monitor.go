@@ -164,6 +164,7 @@ type Monitor struct {
 	pairsByMethod map[int]map[int32]*classfile.Field
 
 	observers []func(nowCycles uint64)
+	sinks     []SampleFunc
 
 	// phaseEvents records detected execution-phase changes (§5.3: "the
 	// rate of events for each reference field is measured throughout
@@ -254,6 +255,21 @@ func (m *Monitor) SetClassifier(fn func(addr uint64) (coalloced, gapped bool)) {
 // counters (the co-allocation policy's feedback hook).
 func (m *Monitor) AddObserver(fn func(nowCycles uint64)) {
 	m.observers = append(m.observers, fn)
+}
+
+// SampleFunc receives one decoded sample: the faulting PC and data
+// address, the method the PC was attributed to, and the hardware
+// sampling interval in effect (each sample statistically represents
+// that many events).
+type SampleFunc func(pc, dataAddr uint64, methodID int, interval uint64)
+
+// AddSink registers a per-sample consumer invoked during decode, after
+// method attribution and before field attribution — the kind-agnostic
+// routing seam optimizations that care about code placement (rather
+// than reference fields) hang off. With no sinks registered, decode is
+// unchanged.
+func (m *Monitor) AddSink(fn SampleFunc) {
+	m.sinks = append(m.sinks, fn)
 }
 
 // Deadline implements runtime.Ticker.
@@ -376,6 +392,9 @@ func (m *Monitor) decode(s *pebs.Sample, interval uint64) {
 	if bci, ok := body.BytecodeAt(s.PC); ok {
 		mc.ByBCI[bci]++
 	}
+	for _, fn := range m.sinks {
+		fn(s.PC, s.DataAddr, body.Method.ID, interval)
+	}
 	if !body.Opt {
 		return
 	}
@@ -432,13 +451,18 @@ func (m *Monitor) pairsFor(body *mcmap.MCMap) map[int32]*classfile.Field {
 
 // flushPeriod closes the current measurement period on every tracked
 // field counter, recording both the period's estimated misses and the
-// length-normalized rate.
+// length-normalized rate. Periods are half-open [start, end) over the
+// cycle counter: a poll landing on the exact cycle the previous period
+// closed at (elapsed == 0, possible only with zero-cost polls) leaves
+// the period open rather than flushing a zero-length window — flushing
+// would emit a bogus rate point and charge the period's samples to a
+// window of length zero. Pinned by TestFlushPeriodBoundary.
 func (m *Monitor) flushPeriod(now uint64) {
 	elapsed := now - m.lastFlush
-	m.lastFlush = now
 	if elapsed == 0 {
-		elapsed = 1
+		return
 	}
+	m.lastFlush = now
 	// Walk counters in field-ID order: detectPhaseChange appends to the
 	// phase-event log, and map order would scramble same-poll entries.
 	ids := make([]int, 0, len(m.fields))

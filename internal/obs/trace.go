@@ -60,6 +60,17 @@ const (
 	// sampling interval, Arg2 the restored system's. Exact restores
 	// emit nothing.
 	EvSnapshotRestored
+	// EvOptDecision records a decision applied by a managed online
+	// optimization (internal/opt). Arg0 is the optimization's
+	// registration index with the manager, Arg1 the decision target
+	// (kind-specific: a layout epoch, a site ID), Arg2 the decision
+	// code. The legacy co-allocation policy keeps emitting
+	// EvCoallocDecision instead, so pre-framework traces are unchanged.
+	EvOptDecision
+	// EvOptRevert records a managed decision undone by the online
+	// assessment (Figure-7-style bad-decision detection generalized to
+	// any optimization kind). Arguments mirror EvOptDecision.
+	EvOptRevert
 	numEventKinds
 )
 
@@ -87,6 +98,8 @@ var kindNames = [numEventKinds]string{
 	EvCacheWindow:      "cache_window",
 	EvSnapshotTaken:    "snapshot_taken",
 	EvSnapshotRestored: "snapshot_restored",
+	EvOptDecision:      "opt_decision",
+	EvOptRevert:        "opt_revert",
 }
 
 // String returns the stable export name of the kind.

@@ -1,0 +1,547 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"hpmvm/internal/hw/cache"
+	"hpmvm/internal/hw/cpu"
+	"hpmvm/internal/monitor"
+	"hpmvm/internal/obs"
+	"hpmvm/internal/snap"
+	"hpmvm/internal/vm/runtime"
+)
+
+// CodeLayout is the second PEBS-driven optimization: hot/cold code
+// layout. The monitor's per-sample sink attributes every sampled miss
+// to the compiled method whose code the faulting PC lies in; methods
+// that absorb samples are where the program spends its time, and
+// compilation order scatters them across the code space. Once enough
+// samples accumulate, the optimization relocates the hottest methods
+// back-to-back at the end of the code space, packing them onto as few
+// instruction-cache lines as possible (compiled code is immortal and
+// never moves, §4.2, so relocation means recompiling at the same level
+// at a fresh address — old bodies stay mapped for frames already on
+// the stack, and the dispatch tables retarget new invocations).
+//
+// Like co-allocation, the decision is verified online (§5.3): the
+// L1I miss rate over the EvalPeriods polls before the layout is the
+// baseline, the rate over the EvalPeriods polls after it is the
+// evidence, and a layout whose rate regresses past RegressionFactor×
+// baseline is reverted by re-packing the hot set. The BadPadAtCycle
+// hook deliberately applies a conflict layout — every hot method
+// padded onto the same cache way — to exercise the revert path
+// (Figure 7's bad-decision experiment, transplanted to code layout).
+type CodeLayout struct {
+	cfg  CodeLayoutConfig
+	vm   *runtime.VM
+	mon  *monitor.Monitor
+	hier *cache.Hierarchy
+
+	// samples holds interval-weighted sample counts per method ID (the
+	// hotness ranking); seen counts raw sink deliveries (the MinSamples
+	// gate).
+	samples map[int]uint64
+	seen    uint64
+
+	// history records the cumulative L1I (fetches, misses) counters at
+	// each poll; rate-over-window queries difference its tail.
+	history []ipoint
+
+	// lastLayout is the hot set most recently laid out, in layout
+	// order; a new layout is proposed only when the hot *set* changes.
+	lastLayout []int
+
+	open      *Decision
+	epoch     int
+	decisions uint64
+	reverts   uint64
+	badDone   bool
+
+	log []string
+}
+
+// ipoint is one poll's cumulative instruction-cache counters.
+type ipoint struct {
+	fetches, misses uint64
+}
+
+// CodeLayoutConfig parameterizes the code-layout optimization,
+// including the instruction-cache geometry it opts the hardware into
+// (the default model is a small 8 KB 2-way L1I so layout effects are
+// visible at simulated working-set sizes).
+type CodeLayoutConfig struct {
+	// ICacheSize and ICacheAssoc are the L1I geometry passed to
+	// cache.Hierarchy.EnableICache (bytes, ways; both powers of two).
+	ICacheSize  int
+	ICacheAssoc int
+	// HotMethods caps how many methods one layout relocates (0 = no cap).
+	HotMethods int
+	// MinSamples is the number of attributed samples required before
+	// the first layout (and before any re-layout of a changed hot set).
+	MinSamples uint64
+	// EvalPeriods is the assessment window in monitor polls: the
+	// baseline is measured over this many polls before a layout, the
+	// verdict over this many polls after it.
+	EvalPeriods uint64
+	// RegressionFactor flags a layout as bad when the post-layout L1I
+	// miss rate exceeds baseline × this factor.
+	RegressionFactor float64
+	// MinMissRate is the L1I miss-rate floor below which no layout is
+	// proposed: relocation pays cold misses on the fresh region, so the
+	// optimization acts only when monitoring shows instruction-cache
+	// pressure worth that cost. 0 resolves to the default; a negative
+	// value disables the floor.
+	MinMissRate float64
+	// MaxReverts backs the optimization off: after this many reverted
+	// layouts it stops proposing — repeated reverts are the monitor
+	// saying layout does not pay on this workload. 0 resolves to the
+	// default; a negative value never backs off.
+	MaxReverts int
+	// BadPadAtCycle, when non-zero, makes the next layout proposed at
+	// or after this cycle a deliberate conflict layout (all hot methods
+	// padded onto one cache way) — the bad-decision injection hook the
+	// revert tests and the Figure-7-style experiment use. Applied once.
+	BadPadAtCycle uint64
+	// Passive observes the instruction cache without ever proposing a
+	// layout (the experiment baseline).
+	Passive bool
+}
+
+// DefaultCodeLayoutConfig returns the standard parameters.
+func DefaultCodeLayoutConfig() CodeLayoutConfig {
+	return CodeLayoutConfig{
+		ICacheSize:       8 * 1024,
+		ICacheAssoc:      2,
+		HotMethods:       16,
+		MinSamples:       24,
+		EvalPeriods:      6,
+		RegressionFactor: 1.5,
+		MinMissRate:      0.005,
+		MaxReverts:       2,
+	}
+}
+
+// WithDefaults resolves the zero values that have no meaningful zero
+// semantics (geometry, window, factor) to their defaults. HotMethods 0
+// (no cap), MinSamples 0 (layout immediately), BadPadAtCycle 0 (never)
+// and Passive false are meaningful zeros and stay put. Canonicalization
+// and construction both apply it, so a zero field and its explicit
+// default build — and fingerprint — identically.
+func (c CodeLayoutConfig) WithDefaults() CodeLayoutConfig {
+	d := DefaultCodeLayoutConfig()
+	if c.ICacheSize == 0 {
+		c.ICacheSize = d.ICacheSize
+	}
+	if c.ICacheAssoc == 0 {
+		c.ICacheAssoc = d.ICacheAssoc
+	}
+	if c.EvalPeriods == 0 {
+		c.EvalPeriods = d.EvalPeriods
+	}
+	if c.RegressionFactor == 0 {
+		c.RegressionFactor = d.RegressionFactor
+	}
+	if c.MinMissRate == 0 {
+		c.MinMissRate = d.MinMissRate
+	}
+	if c.MaxReverts == 0 {
+		c.MaxReverts = d.MaxReverts
+	}
+	return c
+}
+
+// layoutPlan is the Analyze→Apply payload: which methods to relocate
+// and whether to lay them out as a deliberate cache-way conflict.
+type layoutPlan struct {
+	methods  []int
+	conflict bool
+}
+
+// layoutState is the per-decision payload consulted by Assess/Revert.
+type layoutState struct {
+	baseline float64 // L1I miss rate over EvalPeriods polls pre-apply
+	conflict bool
+}
+
+// NewCodeLayout builds the optimization over a VM whose hierarchy has
+// the instruction cache enabled, registers its sample sink with the
+// monitor, and returns it ready for Manager.Register.
+func NewCodeLayout(vm *runtime.VM, mon *monitor.Monitor, cfg CodeLayoutConfig) *CodeLayout {
+	cfg = cfg.WithDefaults()
+	c := &CodeLayout{
+		cfg:     cfg,
+		vm:      vm,
+		mon:     mon,
+		hier:    vm.Hier,
+		samples: make(map[int]uint64),
+	}
+	mon.AddSink(func(pc, dataAddr uint64, methodID int, interval uint64) {
+		c.samples[methodID] += interval
+		c.seen++
+	})
+	return c
+}
+
+// Kind implements Optimization.
+func (c *CodeLayout) Kind() string { return KindCodeLayout }
+
+// MonitorWindow implements Optimization: a layout is first assessed
+// EvalPeriods polls after it was applied.
+func (c *CodeLayout) MonitorWindow() uint64 { return c.cfg.EvalPeriods }
+
+// Analyze implements Optimization. Every poll it records the
+// instruction-cache counters (the rate history assessment differences);
+// when no decision is open and the hot set changed, it proposes one
+// layout.
+func (c *CodeLayout) Analyze(now uint64) []Proposal {
+	ist := c.hier.IStats()
+	c.history = append(c.history, ipoint{ist.Fetches, ist.Misses})
+
+	if c.cfg.Passive || c.open != nil || c.seen < c.cfg.MinSamples {
+		return nil
+	}
+	if uint64(len(c.history)) < c.cfg.EvalPeriods+1 {
+		return nil // no baseline window yet
+	}
+	hot := c.hotOrder()
+	if len(hot) == 0 {
+		return nil
+	}
+	if c.cfg.MaxReverts >= 0 && c.reverts >= uint64(c.cfg.MaxReverts) {
+		return nil // backed off: layout has been reverted too often here
+	}
+	if uint64(len(c.history)) < 2*c.cfg.EvalPeriods+1 {
+		return nil
+	}
+	short := c.rateOver(c.cfg.EvalPeriods)
+	// Warmup guard: while cold-start misses dominate, the rate declines
+	// steeply and a baseline captured now would overstate steady state,
+	// masking a bad layout at assessment. Propose only once the recent
+	// window is within 20% of the longer one. The bad-decision injection
+	// waits it out too — its scenario is a bad call in steady state,
+	// judged against an honest baseline.
+	if long := c.rateOver(2 * c.cfg.EvalPeriods); short < long*0.8 {
+		return nil
+	}
+	if c.cfg.BadPadAtCycle != 0 && now >= c.cfg.BadPadAtCycle && !c.badDone {
+		return []Proposal{{
+			Target: c.epoch,
+			Label:  fmt.Sprintf("conflict layout of %d hot methods", len(hot)),
+			Code:   obs.DecisionIntervene,
+			State:  &layoutPlan{methods: hot, conflict: true},
+		}}
+	}
+	if short < c.cfg.MinMissRate {
+		return nil // no instruction-cache pressure: relocating would only cost
+	}
+	if sameSet(hot, c.lastLayout) {
+		return nil
+	}
+	return []Proposal{{
+		Target: c.epoch,
+		Label:  fmt.Sprintf("packed layout of %d hot methods", len(hot)),
+		Code:   obs.DecisionActivate,
+		State:  &layoutPlan{methods: hot},
+	}}
+}
+
+// Apply implements Optimization: relocate the plan's methods at the
+// end of the code space — tightly packed, or padded onto one cache way
+// for a conflict plan — and open the decision for assessment.
+func (c *CodeLayout) Apply(now uint64, p Proposal) {
+	plan := p.State.(*layoutPlan)
+	if plan.conflict {
+		c.applyConflict(plan.methods)
+	} else {
+		pads := make([]int, len(plan.methods))
+		if err := c.vm.RelocateMethods(plan.methods, pads); err != nil {
+			panic(fmt.Sprintf("opt: codelayout relocation failed: %v", err))
+		}
+	}
+	baseline := c.rateOver(c.cfg.EvalPeriods)
+	c.open = &Decision{
+		Target:      p.Target,
+		Label:       p.Label,
+		AppliedAt:   now,
+		AppliedPoll: c.mon.Stats().Polls,
+		State:       &layoutState{baseline: baseline, conflict: plan.conflict},
+	}
+	c.epoch++
+	c.decisions++
+	c.lastLayout = append([]int(nil), plan.methods...)
+	if plan.conflict {
+		c.badDone = true
+	}
+	c.logf(now, "layout #%d: %s (baseline L1I miss rate %.5f)", p.Target, p.Label, baseline)
+}
+
+// applyConflict relocates the methods one at a time, padding each onto
+// the same cache way as the first: with waySize = size/assoc, every
+// start address is congruent mod waySize, so once the set exceeds the
+// associativity the bodies evict each other on every transition.
+func (c *CodeLayout) applyConflict(methods []int) {
+	way := uint64(c.cfg.ICacheSize / c.cfg.ICacheAssoc)
+	var first uint64
+	for i, id := range methods {
+		pad := 0
+		next := c.vm.CPU.NextCodeAddr()
+		if i == 0 {
+			first = next
+		} else {
+			pad = int(((first - next) & (way - 1)) / cpu.InstrBytes)
+		}
+		if err := c.vm.RelocateMethods([]int{id}, []int{pad}); err != nil {
+			panic(fmt.Sprintf("opt: codelayout conflict relocation failed: %v", err))
+		}
+	}
+}
+
+// OpenDecisions implements Optimization: at most one layout is
+// monitored at a time.
+func (c *CodeLayout) OpenDecisions() []*Decision {
+	if c.open == nil {
+		return nil
+	}
+	return []*Decision{c.open}
+}
+
+// Assess implements Optimization: compare the L1I miss rate over the
+// assessment window against the pre-layout baseline. A kept decision
+// closes — layouts are judged once, like the paper's Figure-7 window.
+func (c *CodeLayout) Assess(now uint64, d *Decision) Assessment {
+	st := d.State.(*layoutState)
+	cur := c.rateOver(c.cfg.EvalPeriods)
+	if st.baseline > 0 && cur > st.baseline*c.cfg.RegressionFactor {
+		return Assessment{Verdict: VerdictBad, Reason: obs.DecisionRevertRate, A: cur, B: st.baseline}
+	}
+	c.open = nil
+	c.logf(now, "layout #%d kept (L1I miss rate %.5f, baseline %.5f)", d.Target, cur, st.baseline)
+	return Assessment{Verdict: VerdictKeep, A: cur, B: st.baseline}
+}
+
+// Revert implements Optimization: undo a bad layout by re-packing the
+// current hot set tightly (code cannot move back, so "undo" means a
+// fresh known-good layout).
+func (c *CodeLayout) Revert(now uint64, d *Decision, a Assessment) {
+	hot := c.hotOrder()
+	if len(hot) == 0 {
+		hot = append([]int(nil), c.lastLayout...)
+	}
+	pads := make([]int, len(hot))
+	if err := c.vm.RelocateMethods(hot, pads); err != nil {
+		panic(fmt.Sprintf("opt: codelayout revert relocation failed: %v", err))
+	}
+	c.lastLayout = hot
+	c.reverts++
+	c.open = nil
+	c.logf(now, "layout #%d reverted (L1I miss rate %.5f vs baseline %.5f): repacked %d methods",
+		d.Target, a.A, a.B, len(hot))
+}
+
+// Stats implements Optimization.
+func (c *CodeLayout) Stats() Stats {
+	return Stats{Decisions: c.decisions, Reverts: c.reverts}
+}
+
+// Log returns the decision log ("[cycle N] ..." lines).
+func (c *CodeLayout) Log() []string { return c.log }
+
+// Epoch returns how many layouts have been applied.
+func (c *CodeLayout) Epoch() int { return c.epoch }
+
+func (c *CodeLayout) logf(now uint64, format string, args ...any) {
+	c.log = append(c.log, fmt.Sprintf("[cycle %d] %s", now, fmt.Sprintf(format, args...)))
+}
+
+// hotOrder returns the sampled methods hottest-first (ties broken by
+// method ID), capped at HotMethods and at the hottest prefix whose
+// compiled bodies fit the instruction cache: packing more code than
+// one cache's worth turns the packed region itself into a capacity
+// thrash, so the tail stays where it is.
+func (c *CodeLayout) hotOrder() []int {
+	ids := make([]int, 0, len(c.samples))
+	for id, w := range c.samples {
+		if w > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		wi, wj := c.samples[ids[i]], c.samples[ids[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		return ids[i] < ids[j]
+	})
+	if c.cfg.HotMethods > 0 && len(ids) > c.cfg.HotMethods {
+		ids = ids[:c.cfg.HotMethods]
+	}
+	sizes := make(map[int]uint64, len(ids))
+	for _, b := range c.vm.Table.CurrentBodies() {
+		sizes[b.Method.ID] = b.CodeBytes()
+	}
+	var used uint64
+	fit := ids[:0]
+	for _, id := range ids {
+		if len(fit) > 0 && used+sizes[id] > uint64(c.cfg.ICacheSize) {
+			break
+		}
+		fit = append(fit, id)
+		used += sizes[id]
+	}
+	return fit
+}
+
+// rateOver returns the L1I miss rate over the last k polls of history
+// (0 when the window saw no fetches).
+func (c *CodeLayout) rateOver(k uint64) float64 {
+	n := uint64(len(c.history))
+	if n < k+1 || k == 0 {
+		return 0
+	}
+	a, b := c.history[n-1-k], c.history[n-1]
+	dF := b.fetches - a.fetches
+	dM := b.misses - a.misses
+	if dF == 0 {
+		return 0
+	}
+	return float64(dM) / float64(dF)
+}
+
+// sameSet reports whether two method-ID lists contain the same IDs
+// (order-insensitively) — layout order shuffles within a stable hot
+// set do not justify another relocation.
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	in := make(map[int]bool, len(a))
+	for _, id := range a {
+		in[id] = true
+	}
+	for _, id := range b {
+		if !in[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot/Restore implement snap.Checkpointable. Everything the
+// decision loop consults is serialized: the hotness accounting, the
+// per-poll I-cache history, the layout bookkeeping and the open
+// decision — a restored system assesses and relocates exactly like the
+// origin (the code space itself is rebuilt by the VM's recompile-log
+// replay, including pads).
+
+const (
+	codeLayoutComponent = "opt/codelayout"
+	codeLayoutVersion   = 1
+)
+
+// Snapshot serializes the optimization state.
+func (c *CodeLayout) Snapshot() snap.ComponentState {
+	var w snap.Writer
+	w.U64(c.seen)
+	ids := make([]int, 0, len(c.samples))
+	for id := range c.samples {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	w.U64(uint64(len(ids)))
+	for _, id := range ids {
+		w.I64(int64(id))
+		w.U64(c.samples[id])
+	}
+	w.U64(uint64(len(c.history)))
+	for _, p := range c.history {
+		w.U64(p.fetches)
+		w.U64(p.misses)
+	}
+	w.U64(uint64(len(c.lastLayout)))
+	for _, id := range c.lastLayout {
+		w.I64(int64(id))
+	}
+	w.U64(uint64(c.epoch))
+	w.U64(c.decisions)
+	w.U64(c.reverts)
+	w.Bool(c.badDone)
+	w.Bool(c.open != nil)
+	if c.open != nil {
+		st := c.open.State.(*layoutState)
+		w.I64(int64(c.open.Target))
+		w.String(c.open.Label)
+		w.U64(c.open.AppliedAt)
+		w.U64(c.open.AppliedPoll)
+		w.F64(st.baseline)
+		w.Bool(st.conflict)
+	}
+	w.U64(uint64(len(c.log)))
+	for _, l := range c.log {
+		w.String(l)
+	}
+	return snap.ComponentState{Component: codeLayoutComponent, Version: codeLayoutVersion, Data: w.Bytes()}
+}
+
+// Restore overwrites the optimization state.
+func (c *CodeLayout) Restore(st snap.ComponentState) error {
+	if err := snap.Check(st, codeLayoutComponent, codeLayoutVersion); err != nil {
+		return err
+	}
+	r := snap.NewReader(st.Data)
+	seen := r.U64()
+	nSamples := r.U64()
+	samples := make(map[int]uint64, nSamples)
+	for i := uint64(0); i < nSamples && r.Err() == nil; i++ {
+		id := int(r.I64())
+		samples[id] = r.U64()
+	}
+	nHist := r.U64()
+	history := make([]ipoint, 0, nHist)
+	for i := uint64(0); i < nHist && r.Err() == nil; i++ {
+		var p ipoint
+		p.fetches = r.U64()
+		p.misses = r.U64()
+		history = append(history, p)
+	}
+	nLayout := r.U64()
+	lastLayout := make([]int, 0, nLayout)
+	for i := uint64(0); i < nLayout && r.Err() == nil; i++ {
+		lastLayout = append(lastLayout, int(r.I64()))
+	}
+	epoch := int(r.U64())
+	decisions := r.U64()
+	reverts := r.U64()
+	badDone := r.Bool()
+	var open *Decision
+	if r.Bool() {
+		open = &Decision{}
+		open.Target = int(r.I64())
+		open.Label = r.String()
+		open.AppliedAt = r.U64()
+		open.AppliedPoll = r.U64()
+		ls := &layoutState{}
+		ls.baseline = r.F64()
+		ls.conflict = r.Bool()
+		open.State = ls
+	}
+	nLog := r.U64()
+	log := make([]string, 0, nLog)
+	for i := uint64(0); i < nLog && r.Err() == nil; i++ {
+		log = append(log, r.String())
+	}
+	if err := r.Close(); err != nil {
+		return err
+	}
+	c.seen = seen
+	c.samples = samples
+	c.history = history
+	c.lastLayout = lastLayout
+	c.epoch = epoch
+	c.decisions = decisions
+	c.reverts = reverts
+	c.badDone = badDone
+	c.open = open
+	c.log = log
+	return nil
+}

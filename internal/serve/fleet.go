@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"hpmvm/internal/api"
+	"hpmvm/internal/opt"
 )
 
 // This file is the fleet coordinator: the same /v1 wire contract as a
@@ -505,6 +506,7 @@ func (f *Fleet) Stats(ctx context.Context) api.FleetStatsz {
 	st.Routing.Pinned = f.cPinned.Load()
 	st.Routing.Stolen = f.cStolen.Load()
 	st.Routing.Rejected = f.cRejected.Load()
+	perOpt := make(map[string]opt.KindStats)
 	for i, b := range f.backends {
 		row := api.WorkerStatsz{
 			Name:     b.Name(),
@@ -518,9 +520,20 @@ func (f *Fleet) Stats(ctx context.Context) api.FleetStatsz {
 			row.Error = err.Error()
 		} else {
 			row.Statsz = &ws
+			for _, k := range ws.Optimizations {
+				sum := perOpt[k.Kind]
+				sum.Kind = k.Kind
+				sum.Decisions += k.Decisions
+				sum.Reverts += k.Reverts
+				perOpt[k.Kind] = sum
+			}
 		}
 		st.PerWorker = append(st.PerWorker, row)
 	}
+	for _, sum := range perOpt {
+		st.Optimizations = append(st.Optimizations, sum)
+	}
+	sort.Slice(st.Optimizations, func(i, j int) bool { return st.Optimizations[i].Kind < st.Optimizations[j].Kind })
 	return st
 }
 

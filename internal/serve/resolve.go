@@ -98,6 +98,7 @@ func (r *Resolver) resolve(req api.Request) (resolved, error) {
 		Monitoring:  req.Monitoring,
 		Interval:    req.Interval,
 		Coalloc:     req.Coalloc,
+		CodeLayout:  req.CodeLayout,
 		Adaptive:    req.Adaptive,
 		Seed:        req.Seed,
 		MaxCycles:   req.MaxCycles,
@@ -129,8 +130,10 @@ func (r *Resolver) resolve(req api.Request) (resolved, error) {
 		cfg.Event = cache.EventL2Miss
 	case "dtlb", "dtlb_miss":
 		cfg.Event = cache.EventDTLBMiss
+	case "l1i", "l1i_miss":
+		cfg.Event = cache.EventL1IMiss
 	default:
-		return res, fmt.Errorf("serve: %w: unknown event %q (l1, l2 or dtlb)", core.ErrBadOptions, req.Event)
+		return res, fmt.Errorf("serve: %w: unknown event %q (l1, l2, dtlb or l1i)", core.ErrBadOptions, req.Event)
 	}
 
 	opts := cfg.Resolve(meta.minHeap, meta.hotField)

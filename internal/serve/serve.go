@@ -42,6 +42,7 @@ import (
 	"hpmvm/internal/bench"
 	"hpmvm/internal/core"
 	"hpmvm/internal/obs"
+	"hpmvm/internal/opt"
 )
 
 // ErrQueueFull is the sentinel returned (and mapped to HTTP 429 /
@@ -134,6 +135,10 @@ type Server struct {
 	outstanding int
 	draining    bool
 	perWorkload map[string]*wlStat
+	// perOpt accumulates decision/revert counters per managed
+	// optimization kind across executed runs (cache hits replay bytes
+	// and do not execute, so they do not count).
+	perOpt map[string]opt.KindStats
 }
 
 // New builds a Server over the frozen workload registry. It invokes
@@ -164,6 +169,7 @@ func New(cfg Config) *Server {
 		snapshots:   newResultCache(cfg.SnapshotEntries),
 		inflight:    make(map[string]*call),
 		perWorkload: make(map[string]*wlStat),
+		perOpt:      make(map[string]opt.KindStats),
 	}
 	s.runner = s.engineRunner
 	s.cRequests = s.obs.Counter("serve.requests")
@@ -348,6 +354,7 @@ func (s *Server) execute(ctx context.Context, res resolved) ([]byte, string, err
 		var result *bench.Result
 		result, err = s.runner(runCtx, res.meta.builder, res.cfg, res.meta.name)
 		if err == nil {
+			s.recordOptStats(result)
 			body, err = marshalResponse(res, result)
 		}
 	}
@@ -387,8 +394,26 @@ func (s *Server) executeWarm(ctx context.Context, res resolved) ([]byte, string,
 	if err := wait(); err != nil {
 		return nil, disp, err
 	}
+	s.recordOptStats(result)
 	body, err := marshalResponse(res, result)
 	return body, disp, err
+}
+
+// recordOptStats folds one executed run's per-kind optimization
+// counters into the server totals surfaced by /v1/statsz.
+func (s *Server) recordOptStats(r *bench.Result) {
+	if len(r.Opt) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range r.Opt {
+		row := s.perOpt[k.Kind]
+		row.Kind = k.Kind
+		row.Decisions += k.Decisions
+		row.Reverts += k.Reverts
+		s.perOpt[k.Kind] = row
+	}
 }
 
 // snapshotFor returns the encoded prefix snapshot for res: the cached
@@ -538,6 +563,9 @@ func (s *Server) Stats() api.Statsz {
 		}
 		st.Workloads = append(st.Workloads, row)
 	}
+	for _, row := range s.perOpt {
+		st.Optimizations = append(st.Optimizations, row)
+	}
 	s.mu.Unlock()
 
 	st.Cache.Hits = s.cHits.Value()
@@ -551,6 +579,7 @@ func (s *Server) Stats() api.Statsz {
 		st.Cache.HitRate = float64(st.Cache.Hits+st.Cache.Shared) / float64(served)
 	}
 	sort.Slice(st.Workloads, func(i, j int) bool { return st.Workloads[i].Workload < st.Workloads[j].Workload })
+	sort.Slice(st.Optimizations, func(i, j int) bool { return st.Optimizations[i].Kind < st.Optimizations[j].Kind })
 	st.Counters = metrics.Counters
 	return st
 }

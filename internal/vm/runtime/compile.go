@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 
+	"hpmvm/internal/hw/cpu"
 	"hpmvm/internal/vm/bytecode"
 	"hpmvm/internal/vm/classfile"
 	"hpmvm/internal/vm/compiler/baseline"
@@ -100,8 +101,58 @@ func (vm *VM) CompileMethod(m *classfile.Method, level int) error {
 	if vm.bootDone {
 		vm.recompileLog = append(vm.recompileLog, recompileEntry{methodID: m.ID, level: level})
 	}
+	vm.levels[m.ID] = level
 	for _, fn := range vm.onRecompile {
 		fn(m.ID)
+	}
+	return nil
+}
+
+// MethodLevel returns the optimization level the method was last
+// compiled at (0 for baseline or never compiled).
+func (vm *VM) MethodLevel(methodID int) int { return vm.levels[methodID] }
+
+// padMethodID marks an InstallPad entry in the recompile log; the
+// entry's level field carries the pad length in instructions.
+const padMethodID = -1
+
+// InstallPad appends n no-op instruction slots to the code space and
+// returns their start address. Pads are the code-layout optimization's
+// alignment tool: they shift the following body's cache-line placement
+// without registering anything in the machine-code map (a pad is never
+// executed, so samples cannot land in it). Post-boot pads are recorded
+// in the recompile log as methodID -1 entries and replayed on restore,
+// keeping the snapshot contract's code-layout determinism.
+func (vm *VM) InstallPad(n int) uint64 {
+	addr := vm.CPU.InstallCode(make([]cpu.Instr, n))
+	if vm.bootDone {
+		vm.recompileLog = append(vm.recompileLog, recompileEntry{methodID: padMethodID, level: n})
+	}
+	return addr
+}
+
+// RelocateMethods re-lays methods in the given order at the current
+// end of the code space, each recompiled at its current optimization
+// level with padInstrs[i] no-op slots installed ahead of it (0 for
+// tight packing). Old bodies stay mapped but obsolete — frames already
+// on the stack return into them safely — while the dispatch tables
+// retarget new invocations at the relocated copies. Everything flows
+// through CompileMethod/InstallPad, so the recompile log replays the
+// relocation exactly on restore.
+func (vm *VM) RelocateMethods(methodIDs, padInstrs []int) error {
+	if len(methodIDs) != len(padInstrs) {
+		return fmt.Errorf("runtime: relocate: %d methods but %d pads", len(methodIDs), len(padInstrs))
+	}
+	for i, id := range methodIDs {
+		if id < 0 || id >= len(vm.U.Methods()) {
+			return fmt.Errorf("runtime: relocate: method id %d not in universe", id)
+		}
+		if padInstrs[i] > 0 {
+			vm.InstallPad(padInstrs[i])
+		}
+		if err := vm.CompileMethod(vm.U.Method(id), vm.levels[id]); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -92,6 +92,11 @@ func (vm *VM) Restore(st snap.ComponentState) error {
 		return fmt.Errorf("vm: restore requires a freshly booted VM (recompile log not empty)")
 	}
 	for _, e := range log {
+		if e.methodID == padMethodID {
+			// Code-layout pad entry: level carries the pad length.
+			vm.InstallPad(e.level)
+			continue
+		}
 		if e.methodID < 0 || e.methodID >= len(vm.U.Methods()) {
 			return fmt.Errorf("vm: %w: recompile log method id %d not in universe", snap.ErrDecode, e.methodID)
 		}

@@ -89,6 +89,12 @@ type VM struct {
 	bootDone     bool
 	recompileLog []recompileEntry
 
+	// levels tracks each method's current optimization level so a
+	// relocation (CompileMethod at the same level) preserves it. Kept
+	// by CompileMethod; never serialized — boot and recompile-log
+	// replay rebuild it deterministically.
+	levels map[int]int
+
 	// Cost model for VM services.
 	AllocTrapCycles uint64 // fixed overhead per allocation trap
 
@@ -113,6 +119,7 @@ func New(u *classfile.Universe, hierCfg cache.Config) *VM {
 		Table:           &mcmap.Table{},
 		Immortal:        heap.NewBumpSpace("immortal", heap.ImmortalBase, heap.ImmortalEnd),
 		optInfo:         make(map[int]any),
+		levels:          make(map[int]int),
 		AllocTrapCycles: 30,
 	}
 	c.SetTrapHandler(vm)

@@ -16,6 +16,8 @@
 //   - the deprecated unversioned paths answer byte-identically with a
 //     Deprecation header and a successor-version link
 //   - /v1/stream reassembles byte-identically to /v1/run
+//   - managed-optimization runs (coalloc, codelayout) surface per-kind
+//     decision/revert counters in /v1/statsz
 //
 // Usage: servesmoke -url http://127.0.0.1:18080
 package main
@@ -34,6 +36,7 @@ import (
 
 	"hpmvm/internal/api"
 	"hpmvm/internal/client"
+	"hpmvm/internal/opt"
 )
 
 func main() {
@@ -48,7 +51,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "servesmoke: FAIL — %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Println("servesmoke: OK — cold=miss, replay=hit, warm=store then hit, sampled=estimated at its own key, v1+legacy byte-identical, stream byte-identical, error codes stable")
+	fmt.Println("servesmoke: OK — cold=miss, replay=hit, warm=store then hit, sampled=estimated at its own key, v1+legacy byte-identical, stream byte-identical, error codes stable, opt counters in statsz")
 }
 
 func smoke(url string) error {
@@ -166,7 +169,61 @@ func smoke(url string) error {
 	if stream.Cache != "hit" {
 		return fmt.Errorf("streamed replay disposition %q, want hit", stream.Cache)
 	}
+
+	// Managed optimizations: a coalloc run and a codelayout run must
+	// each surface a per-kind counter row in statsz.
+	if err := checkOptCounters(ctx, c); err != nil {
+		return err
+	}
 	return nil
+}
+
+// checkOptCounters runs db once with co-allocation and once with the
+// code-layout optimization, then asserts /v1/statsz carries one counter
+// row per kind: coalloc with decisions (db's hot pairs trigger it at
+// defaults) and codelayout present (at the default 8 KB instruction
+// cache the optimizer correctly declines to relocate, so its row may
+// report zero decisions — the row itself proves the framework ran). On
+// a fleet the rows are summed by the coordinator.
+func checkOptCounters(ctx context.Context, c *client.Client) error {
+	if _, err := c.Run(ctx, api.Request{Workload: "db", Seed: 1, Coalloc: true}); err != nil {
+		return fmt.Errorf("coalloc run: %w", err)
+	}
+	if _, err := c.Run(ctx, api.Request{Workload: "db", Seed: 1, CodeLayout: true, Event: "l1i"}); err != nil {
+		return fmt.Errorf("codelayout run: %w", err)
+	}
+	rows, err := optRows(ctx, c)
+	if err != nil {
+		return err
+	}
+	byKind := make(map[string]opt.KindStats, len(rows))
+	for _, r := range rows {
+		byKind[r.Kind] = r
+	}
+	co, ok := byKind[opt.KindCoalloc]
+	if !ok {
+		return errors.New("statsz optimizations lack the coalloc row after a coalloc run")
+	}
+	if co.Decisions == 0 {
+		return errors.New("statsz coalloc row reports zero decisions after a db coalloc run")
+	}
+	if _, ok := byKind[opt.KindCodeLayout]; !ok {
+		return errors.New("statsz optimizations lack the codelayout row after a codelayout run")
+	}
+	return nil
+}
+
+// optRows fetches the per-kind optimization counters — the fleet
+// aggregate when the daemon is a coordinator, else the single server's.
+func optRows(ctx context.Context, c *client.Client) ([]opt.KindStats, error) {
+	if fst, err := c.FleetStatsz(ctx); err == nil && fst.Fleet {
+		return fst.Optimizations, nil
+	}
+	st, err := c.Statsz(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("statsz: %w", err)
+	}
+	return st.Optimizations, nil
 }
 
 // checkHits asserts the result-cache hit shows up in statsz — directly
