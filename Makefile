@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke profile experiments obs serve-smoke serve-bench-smoke serve-bench verify-sampling verify-opt
+.PHONY: ci vet build test race bench bench-smoke profile experiments obs serve-smoke serve-bench-smoke serve-bench verify-sampling verify-opt perf-gate perf-baseline
 
-ci: vet build test race verify-opt bench-smoke serve-smoke serve-bench-smoke
+ci: vet build test race verify-opt perf-gate bench-smoke serve-smoke serve-bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -32,12 +32,15 @@ verify-sampling:
 
 # Optimization-framework keystones (opt_test.go): the framework-managed
 # co-allocation reproduces the recorded golden corpus bit-for-bit on
-# every workload, and an injected regressing decision is auto-reverted
-# within one assessment window for both managed kinds (coalloc and
-# codelayout). Both tests also run under `make test`; this is the
-# focused, verbose gate wired into `make ci`.
+# every workload, an injected regressing decision is auto-reverted
+# within one assessment window for all three managed kinds (coalloc,
+# codelayout, swprefetch — the latter's polluting site set under the
+# pressured geometry), and the prefetch-injection ablation never
+# regresses the passive baseline while improving >= 3 workloads. All
+# three tests also run under `make test`; this is the focused, verbose
+# gate wired into `make ci`.
 verify-opt:
-	$(GO) test -run 'TestOptCoallocByteIdentical|TestOptRevertBadDecision' -v .
+	$(GO) test -run 'TestOptCoallocByteIdentical|TestOptRevertBadDecision|TestSwPrefetchAblation' -v .
 
 # Race check on the packages the parallel engine fans runs out of:
 # the engine itself (and its determinism sweep), the workload
@@ -54,7 +57,29 @@ verify-opt:
 # internal/opt rides along because the manager's observer callbacks run
 # inside every concurrently executing monitored run.
 race:
-	$(GO) test -race -timeout 60m . ./internal/bench/... ./internal/core/... ./internal/hw/cache/... ./internal/obs/... ./internal/opt/... ./internal/serve/... ./internal/api/... ./internal/client/...
+	$(GO) test -race -timeout 60m . ./internal/bench/... ./internal/core/... ./internal/hw/cache/... ./internal/obs/... ./internal/opt/... ./internal/serve/... ./internal/api/... ./internal/client/... ./internal/stats/... ./cmd/perfstat/...
+
+# Perf regression gate (cmd/perfstat): re-measure the simulator's
+# throughput benchmark and compare against the checked-in baseline
+# (results/BENCH_baseline.txt) with benchstat-style 95% CIs. The gate
+# trips only on a statistically significant Mcycles/s drop beyond the
+# threshold — overlapping CIs or sub-threshold deltas pass, so benign
+# machine noise does not block CI. The second step proves the gate's
+# teeth on the checked-in synthetic regression fixture: a run that
+# somehow lost ~20% throughput MUST fail, so a silently broken
+# comparator cannot pass CI. Refresh the baseline with `make
+# perf-baseline` after an intentional perf change (on the reference
+# machine — the baseline encodes its throughput).
+perf-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkSystemMcycles/compress' -benchtime=1x -count=5 . | tee /tmp/hpmvm-perfgate.txt
+	$(GO) run ./cmd/perfstat -gate -threshold 5 results/BENCH_baseline.txt /tmp/hpmvm-perfgate.txt
+	@! $(GO) run ./cmd/perfstat -gate cmd/perfstat/testdata/baseline.txt cmd/perfstat/testdata/regression.txt >/dev/null 2>&1 \
+		|| { echo "perf-gate: comparator failed to flag the synthetic regression fixture"; exit 1; }
+	@echo "perf-gate: synthetic regression fixture correctly rejected"
+
+# Record the current machine's throughput as the perf-gate baseline.
+perf-baseline:
+	$(GO) test -run '^$$' -bench 'BenchmarkSystemMcycles/compress' -benchtime=1x -count=8 . | tee results/BENCH_baseline.txt
 
 # End-to-end hpmvmd smoke test: boot the daemon, run the client-based
 # protocol checks (scripts/servesmoke: cache byte-identity, warm-start

@@ -51,6 +51,7 @@ func main() {
 	interval := flag.Uint64("interval", 0, "sampling interval in events (0 = auto)")
 	coalloc := flag.Bool("coalloc", false, "enable HPM-guided co-allocation (implies -monitor)")
 	codelayout := flag.Bool("codelayout", false, "enable hot/cold code layout (implies -monitor; pair with -event l1i)")
+	swprefetch := flag.Bool("swprefetch", false, "enable software prefetch injection (implies -monitor)")
 	event := flag.String("event", "", "sampled event: l1 (default), l2, dtlb or l1i")
 	gap := flag.Uint64("gap", 0, "pathological placement gap in bytes (Figure 8)")
 	adaptive := flag.Bool("adaptive", false, "AOS recording mode instead of the all-opt plan")
@@ -74,10 +75,11 @@ func main() {
 	cfg := bench.RunConfig{
 		HeapFactor: *heapf,
 		Heap:       *heapBytes,
-		Monitoring: *monitoring || *coalloc || *codelayout,
+		Monitoring: *monitoring || *coalloc || *codelayout || *swprefetch,
 		Interval:   *interval,
 		Coalloc:    *coalloc,
 		CodeLayout: *codelayout,
+		SwPrefetch: *swprefetch,
 		Gap:        *gap,
 		Adaptive:   *adaptive,
 		Seed:       *seed,
@@ -121,6 +123,10 @@ func main() {
 	fmt.Printf("L1 misses   %d (%.3f/kinstr)\n", res.Cache.L1Misses, 1000*float64(res.Cache.L1Misses)/float64(res.Instret))
 	fmt.Printf("L2 misses   %d\n", res.Cache.L2Misses)
 	fmt.Printf("DTLB misses %d\n", res.Cache.TLBMisses)
+	if cfg.SwPrefetch {
+		fmt.Printf("sw prefetch %d issued, %d hits (accuracy %.1f%%)\n",
+			res.Cache.SwPrefetches, res.Cache.SwPrefetchHits, 100*res.Cache.SwPrefetchAccuracy())
+	}
 	fmt.Printf("GC          %d minor, %d major (%d cycles)\n", res.MinorGCs, res.MajorGCs, res.GCCycles)
 	if cfg.Coalloc {
 		fmt.Printf("coalloc     %d pairs (fragmentation %.1f%%)\n", res.CoallocPairs, 100*res.Fragmentation)
@@ -153,6 +159,12 @@ func main() {
 		if sys.CodeLayout != nil {
 			fmt.Println("code layout log:")
 			for _, l := range sys.CodeLayout.Log() {
+				fmt.Printf("  %s\n", l)
+			}
+		}
+		if sys.SwPrefetch != nil {
+			fmt.Println("software prefetch log:")
+			for _, l := range sys.SwPrefetch.Log() {
 				fmt.Printf("  %s\n", l)
 			}
 		}

@@ -1,0 +1,211 @@
+// Command perfstat compares two Go-benchmark-format result files the
+// way benchstat does: per-benchmark means with 95% confidence
+// intervals and the delta between them, flagged as significant only
+// when the intervals do not overlap. It understands both `go test
+// -bench` output and the lines internal/bench's experiment pipeline
+// records (results/BENCH_*.txt / results/BENCH_baseline.txt).
+//
+// Usage:
+//
+//	perfstat old.txt new.txt
+//	perfstat -gate -metric Mcycles/s -threshold 3 results/BENCH_baseline.txt fresh.txt
+//
+// With -gate, perfstat exits 1 when any benchmark shows a
+// statistically significant regression of the gated metric beyond
+// -threshold percent — the `make perf-gate` CI check. Higher is better
+// for throughput units (Mcycles/s, Minstr/s, MB/s); lower is better
+// for everything else (ns/op, B/op, allocs/op).
+//
+// Exit codes: 0 success, 1 gated regression, 2 usage or parse error.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hpmvm/internal/stats"
+)
+
+// sample is one parsed benchmark line's value for one unit.
+type sample struct {
+	name string // benchmark name, -N GOMAXPROCS suffix stripped
+	unit string
+	val  float64
+}
+
+// benchLine matches "Benchmark<Name>[-procs] <N> <val> <unit> [<val> <unit>...]".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)((?:\s+[0-9.eE+-]+\s+\S+)+)\s*$`)
+
+// procSuffix strips the "-8" GOMAXPROCS suffix `go test -bench` adds.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseFile extracts every (benchmark, unit, value) sample from a
+// Go-benchmark-format file. Non-benchmark lines (goos/pkg headers,
+// PASS, experiment prose) are skipped.
+func parseFile(path string) ([]sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []sample
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(m[1], "")
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			out = append(out, sample{name: name, unit: fields[i+1], val: v})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// key identifies one metric series: a benchmark × unit pair.
+type key struct{ name, unit string }
+
+// group collects samples into per-(benchmark, unit) series.
+func group(samples []sample) map[key][]float64 {
+	out := make(map[key][]float64)
+	for _, s := range samples {
+		k := key{s.name, s.unit}
+		out[k] = append(out[k], s.val)
+	}
+	return out
+}
+
+// higherIsBetter reports the improvement direction of a unit.
+func higherIsBetter(unit string) bool {
+	switch unit {
+	case "Mcycles/s", "Minstr/s", "MB/s", "ops/s":
+		return true
+	}
+	return false
+}
+
+// comparison is one benchmark×unit row of the report.
+type comparison struct {
+	key
+	old, new    stats.Interval
+	delta       float64 // percent change of the mean, improvement-positive sign preserved
+	significant bool    // 95% CIs are disjoint
+}
+
+// compare joins the two files' series on (benchmark, unit); series
+// present in only one file are skipped (there is nothing to compare).
+func compare(oldS, newS map[key][]float64) []comparison {
+	var rows []comparison
+	for k, ov := range oldS {
+		nv, ok := newS[k]
+		if !ok {
+			continue
+		}
+		c := comparison{key: k, old: stats.MeanCI95(ov), new: stats.MeanCI95(nv)}
+		if c.old.Mean != 0 {
+			c.delta = 100 * (c.new.Mean - c.old.Mean) / c.old.Mean
+		}
+		c.significant = c.new.Lo > c.old.Hi || c.new.Hi < c.old.Lo
+		rows = append(rows, c)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].name != rows[j].name {
+			return rows[i].name < rows[j].name
+		}
+		return rows[i].unit < rows[j].unit
+	})
+	return rows
+}
+
+// regressed reports whether a row is a gated regression: the change is
+// statistically significant, in the bad direction for its unit, and
+// larger than threshold percent.
+func regressed(c comparison, threshold float64) bool {
+	if !c.significant {
+		return false
+	}
+	bad := c.delta < 0
+	if !higherIsBetter(c.unit) {
+		bad = c.delta > 0
+	}
+	if !bad {
+		return false
+	}
+	d := c.delta
+	if d < 0 {
+		d = -d
+	}
+	return d > threshold
+}
+
+// render prints the benchstat-style table.
+func render(w *os.File, rows []comparison) {
+	fmt.Fprintf(w, "%-40s %10s %22s %22s %10s\n", "benchmark", "unit", "old", "new", "delta")
+	for _, c := range rows {
+		marker := "~"
+		if c.significant {
+			marker = fmt.Sprintf("%+.2f%%", c.delta)
+		}
+		fmt.Fprintf(w, "%-40s %10s %13.2f ±%6.2f %13.2f ±%6.2f %10s\n",
+			strings.TrimPrefix(c.name, "Benchmark"), c.unit,
+			c.old.Mean, c.old.Half, c.new.Mean, c.new.Half, marker)
+	}
+}
+
+func main() {
+	gate := flag.Bool("gate", false, "exit 1 on a statistically significant regression of -metric beyond -threshold percent")
+	metric := flag.String("metric", "Mcycles/s", "unit the gate checks (other units are reported but never gate)")
+	threshold := flag.Float64("threshold", 3, "minimum significant regression, in percent, that fails the gate")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: perfstat [-gate] [-metric unit] [-threshold pct] old.txt new.txt")
+		os.Exit(2)
+	}
+	oldSamples, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfstat: %v\n", err)
+		os.Exit(2)
+	}
+	newSamples, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfstat: %v\n", err)
+		os.Exit(2)
+	}
+	if len(oldSamples) == 0 || len(newSamples) == 0 {
+		fmt.Fprintf(os.Stderr, "perfstat: no benchmark lines parsed (old %d, new %d)\n", len(oldSamples), len(newSamples))
+		os.Exit(2)
+	}
+	rows := compare(group(oldSamples), group(newSamples))
+	render(os.Stdout, rows)
+	if !*gate {
+		return
+	}
+	failed := false
+	for _, c := range rows {
+		if c.unit == *metric && regressed(c, *threshold) {
+			fmt.Fprintf(os.Stderr, "perfstat: REGRESSION %s %s: %.2f -> %.2f (%+.2f%%, CIs disjoint, threshold %.1f%%)\n",
+				c.name, c.unit, c.old.Mean, c.new.Mean, c.delta, *threshold)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("perf-gate OK: no significant %s regression beyond %.1f%%\n", *metric, *threshold)
+}

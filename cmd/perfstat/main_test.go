@@ -1,0 +1,111 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func mustParse(t *testing.T, name string) map[key][]float64 {
+	t.Helper()
+	samples, err := parseFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatalf("%s: no samples parsed", name)
+	}
+	return group(samples)
+}
+
+func TestParseFormats(t *testing.T) {
+	g := mustParse(t, "baseline.txt")
+	// go test -bench style line with -8 GOMAXPROCS suffix and two units.
+	mc, ok := g[key{"BenchmarkSystemMcycles/compress", "Mcycles/s"}]
+	if !ok {
+		t.Fatalf("missing Mcycles/s series; have %v", g)
+	}
+	if len(mc) != 5 {
+		t.Fatalf("Mcycles/s series has %d samples, want 5", len(mc))
+	}
+	if _, ok := g[key{"BenchmarkSystemMcycles/compress", "ns/op"}]; !ok {
+		t.Fatal("ns/op unit not parsed from the same lines")
+	}
+	// experiment-pipeline tab-separated line.
+	if _, ok := g[key{"BenchmarkFig2/db", "Mcycles/s"}]; !ok {
+		t.Fatal("tab-separated experiment line not parsed")
+	}
+}
+
+func TestCompareIdenticalNotSignificant(t *testing.T) {
+	g := mustParse(t, "baseline.txt")
+	for _, c := range compare(g, g) {
+		if c.significant {
+			t.Errorf("%v: identical series flagged significant", c.key)
+		}
+		if c.delta != 0 {
+			t.Errorf("%v: identical series delta %f, want 0", c.key, c.delta)
+		}
+		if regressed(c, 3) {
+			t.Errorf("%v: identical series gated as regression", c.key)
+		}
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	oldG := mustParse(t, "baseline.txt")
+	newG := mustParse(t, "regression.txt")
+	rows := compare(oldG, newG)
+	found := false
+	for _, c := range rows {
+		if c.key == (key{"BenchmarkSystemMcycles/compress", "Mcycles/s"}) {
+			found = true
+			if !c.significant {
+				t.Errorf("regression fixture not significant: old %+v new %+v", c.old, c.new)
+			}
+			if !regressed(c, 3) {
+				t.Errorf("regression fixture did not trip the gate: delta %.2f%%", c.delta)
+			}
+			if c.delta >= 0 {
+				t.Errorf("throughput drop reported as delta %+.2f%%", c.delta)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("joined rows missing the compress Mcycles/s series")
+	}
+}
+
+func TestNoiseWithinCIDoesNotGate(t *testing.T) {
+	oldG := mustParse(t, "baseline.txt")
+	newG := mustParse(t, "noise.txt")
+	for _, c := range compare(oldG, newG) {
+		if c.unit == "Mcycles/s" && regressed(c, 3) {
+			t.Errorf("%v: overlapping-CI noise gated as regression (old %+v new %+v)", c.key, c.old, c.new)
+		}
+	}
+}
+
+func TestRegressedDirectionPerUnit(t *testing.T) {
+	mk := func(unit string, oldMean, newMean float64) comparison {
+		return comparison{
+			key:         key{"BenchmarkX", unit},
+			delta:       100 * (newMean - oldMean) / oldMean,
+			significant: true,
+		}
+	}
+	if !regressed(mk("Mcycles/s", 100, 80), 3) {
+		t.Error("20% throughput drop should gate")
+	}
+	if regressed(mk("Mcycles/s", 100, 120), 3) {
+		t.Error("throughput gain gated")
+	}
+	if !regressed(mk("ns/op", 100, 120), 3) {
+		t.Error("20% latency increase should gate")
+	}
+	if regressed(mk("ns/op", 100, 80), 3) {
+		t.Error("latency improvement gated")
+	}
+	if regressed(mk("Mcycles/s", 100, 98), 3) {
+		t.Error("2% drop below the 3% threshold gated")
+	}
+}

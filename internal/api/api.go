@@ -101,6 +101,9 @@ type Request struct {
 	// CodeLayout enables the hot/cold code-layout optimization (implies
 	// monitoring; incompatible with sampled).
 	CodeLayout bool `json:"codelayout,omitempty"`
+	// SwPrefetch enables the software prefetch-injection optimization
+	// (implies monitoring; incompatible with sampled).
+	SwPrefetch bool `json:"swprefetch,omitempty"`
 	// Adaptive runs AOS recording mode instead of the all-opt plan.
 	Adaptive bool `json:"adaptive,omitempty"`
 	// Seed drives the deterministic PRNG.

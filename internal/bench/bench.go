@@ -169,6 +169,17 @@ type RunConfig struct {
 	CodeLayout       bool
 	CodeLayoutConfig *opt.CodeLayoutConfig
 
+	// SwPrefetch enables the software prefetch-injection optimization
+	// (implies Monitoring); SwPrefetchConfig optionally overrides its
+	// tuning.
+	SwPrefetch       bool
+	SwPrefetchConfig *opt.SwPrefetchConfig
+
+	// CacheConfig, when non-nil, overrides the memory-hierarchy
+	// geometry (default: the paper's P4). The revert experiments use a
+	// pressured geometry so a polluting injection is visibly bad.
+	CacheConfig *cache.Config
+
 	// Gap, when non-zero, applies Gap padding bytes between every
 	// co-allocated parent and child from the start (ablation).
 	Gap uint64
@@ -265,7 +276,7 @@ func (cfg RunConfig) Resolve(minHeap uint64, hotField string) core.Options {
 		}
 		heapBytes = uint64(f * float64(minHeap))
 	}
-	monitoring := cfg.Monitoring || cfg.Coalloc || cfg.CodeLayout
+	monitoring := cfg.Monitoring || cfg.Coalloc || cfg.CodeLayout || cfg.SwPrefetch
 	track := cfg.TrackFields
 	if len(track) == 0 && hotField != "" {
 		track = []string{hotField}
@@ -297,6 +308,13 @@ func (cfg RunConfig) Resolve(minHeap uint64, hotField string) core.Options {
 	if cfg.CodeLayout {
 		opts.Optimizations = append(opts.Optimizations,
 			core.OptimizationConfig{Kind: opt.KindCodeLayout, CodeLayout: cfg.CodeLayoutConfig})
+	}
+	if cfg.SwPrefetch {
+		opts.Optimizations = append(opts.Optimizations,
+			core.OptimizationConfig{Kind: opt.KindSwPrefetch, SwPrefetch: cfg.SwPrefetchConfig})
+	}
+	if cfg.CacheConfig != nil {
+		opts.Cache = *cfg.CacheConfig
 	}
 	return opts
 }

@@ -16,7 +16,7 @@ import (
 // paper-vs-measured values.
 
 // Experiment names accepted by RunExperiment.
-var ExperimentNames = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablations", "warmstart", "sampling", "sampling-fig5", "codelayout"}
+var ExperimentNames = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablations", "warmstart", "sampling", "sampling-fig5", "codelayout", "swprefetch"}
 
 // Options tunes experiment execution.
 type ExpOptions struct {
@@ -137,6 +137,8 @@ func RunExperiment(name string, opt ExpOptions) (string, error) {
 		return SamplingFig5(opt)
 	case "codelayout":
 		return CodeLayoutExp(opt)
+	case "swprefetch":
+		return SwPrefetchExp(opt)
 	default:
 		return "", fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(ExperimentNames, ", "))
 	}

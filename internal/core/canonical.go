@@ -83,8 +83,8 @@ func (o Options) Canonical() Options {
 	}
 	// Fold the optimization list: a coalloc-kind entry collapses into
 	// the legacy Coalloc switch (the two spellings wire identical
-	// systems, so they must hash identically), codelayout entries get
-	// their config materialized with defaults resolved, and the
+	// systems, so they must hash identically), codelayout and swprefetch
+	// entries get their config materialized with defaults resolved, and the
 	// remainder — including unknown kinds, which still perturb the
 	// hash — sorts by kind. Idempotent by construction.
 	if len(c.Optimizations) > 0 {
@@ -103,6 +103,14 @@ func (o Options) Canonical() Options {
 				}
 				cl = cl.WithDefaults()
 				e.CodeLayout = &cl
+				rest = append(rest, e)
+			case opt.KindSwPrefetch:
+				sp := opt.DefaultSwPrefetchConfig()
+				if e.SwPrefetch != nil {
+					sp = *e.SwPrefetch
+				}
+				sp = sp.WithDefaults()
+				e.SwPrefetch = &sp
 				rest = append(rest, e)
 			default:
 				rest = append(rest, e)

@@ -16,15 +16,16 @@ import (
 // in CI; `go test -fuzz=FuzzCanonical ./internal/core` explores
 // further.
 func FuzzCanonical(f *testing.F) {
-	f.Add(uint8(0), uint64(0), false, uint64(0), uint8(0), false, false, int64(0), "", false, 0, false, uint32(0))
-	f.Add(uint8(1), uint64(12<<20), true, uint64(1000), uint8(1), false, false, int64(7), "String::value", true, 128, true, uint32(0))
-	f.Add(uint8(0), uint64(8<<20), true, uint64(0), uint8(2), true, true, int64(-3), "Node::next", false, 0, true, uint32(4096))
-	f.Add(uint8(2), uint64(1), true, uint64(25_000), uint8(9), true, false, int64(1<<40), "a::b", true, -5, false, uint32(1))
+	f.Add(uint8(0), uint64(0), false, uint64(0), uint8(0), false, false, int64(0), "", false, 0, false, uint32(0), false, uint32(0))
+	f.Add(uint8(1), uint64(12<<20), true, uint64(1000), uint8(1), false, false, int64(7), "String::value", true, 128, true, uint32(0), true, uint32(0))
+	f.Add(uint8(0), uint64(8<<20), true, uint64(0), uint8(2), true, true, int64(-3), "Node::next", false, 0, true, uint32(4096), false, uint32(4))
+	f.Add(uint8(2), uint64(1), true, uint64(25_000), uint8(9), true, false, int64(1<<40), "a::b", true, -5, false, uint32(1), true, uint32(63))
 
 	f.Fuzz(func(t *testing.T, collector uint8, heap uint64, monitoring bool,
 		interval uint64, event uint8, coalloc, adaptive bool, seed int64,
 		track string, observe bool, traceCap int,
-		codeLayout bool, icacheSize uint32) {
+		codeLayout bool, icacheSize uint32,
+		swPrefetch bool, spDistance uint32) {
 		o := Options{
 			Collector:        CollectorKind(collector % 2),
 			HeapLimit:        heap,
@@ -47,6 +48,14 @@ func FuzzCanonical(f *testing.F) {
 			}
 			o.Optimizations = append(o.Optimizations,
 				OptimizationConfig{Kind: opt.KindCodeLayout, CodeLayout: cfg})
+		}
+		if swPrefetch {
+			var cfg *opt.SwPrefetchConfig
+			if spDistance != 0 {
+				cfg = &opt.SwPrefetchConfig{Distance: int(spDistance)}
+			}
+			o.Optimizations = append(o.Optimizations,
+				OptimizationConfig{Kind: opt.KindSwPrefetch, SwPrefetch: cfg})
 		}
 
 		// Canonicalization is idempotent: a canonical form is its own
@@ -123,6 +132,16 @@ func FuzzCanonical(f *testing.F) {
 				o.Optimizations...)
 			if withCL.Fingerprint() == fp {
 				t.Fatalf("codelayout entry did not perturb Fingerprint")
+			}
+		}
+
+		// So is a swprefetch entry.
+		if !swPrefetch {
+			withSP := o
+			withSP.Optimizations = append([]OptimizationConfig{{Kind: opt.KindSwPrefetch}},
+				o.Optimizations...)
+			if withSP.Fingerprint() == fp {
+				t.Fatalf("swprefetch entry did not perturb Fingerprint")
 			}
 		}
 	})

@@ -188,6 +188,8 @@ func TestCanonicalOptimizationsEquivalence(t *testing.T) {
 	ccfg := coalloc.DefaultConfig()
 	clDef := opt.DefaultCodeLayoutConfig()
 	clRes := clDef.WithDefaults()
+	spDef := opt.DefaultSwPrefetchConfig()
+	spRes := spDef.WithDefaults()
 
 	equal := []struct {
 		name string
@@ -209,6 +211,12 @@ func TestCanonicalOptimizationsEquivalence(t *testing.T) {
 		{"default vs defaults-resolved codelayout config",
 			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: opt.KindCodeLayout, CodeLayout: &clDef}}},
 			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: opt.KindCodeLayout, CodeLayout: &clRes}}}},
+		{"nil vs default swprefetch config",
+			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: opt.KindSwPrefetch}}},
+			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: opt.KindSwPrefetch, SwPrefetch: &spDef}}}},
+		{"default vs defaults-resolved swprefetch config",
+			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: opt.KindSwPrefetch, SwPrefetch: &spDef}}},
+			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: opt.KindSwPrefetch, SwPrefetch: &spRes}}}},
 		{"nil vs empty optimization list",
 			Options{Seed: 5},
 			Options{Seed: 5, Optimizations: []OptimizationConfig{}}},
@@ -236,6 +244,16 @@ func TestCanonicalOptimizationsEquivalence(t *testing.T) {
 			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: opt.KindCodeLayout}}},
 			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: opt.KindCodeLayout,
 				CodeLayout: &opt.CodeLayoutConfig{ICacheSize: 2 << 10}}}}},
+		{"swprefetch presence",
+			Options{Monitoring: true},
+			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: opt.KindSwPrefetch}}}},
+		{"swprefetch tuning",
+			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: opt.KindSwPrefetch}}},
+			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: opt.KindSwPrefetch,
+				SwPrefetch: &opt.SwPrefetchConfig{Distance: 4}}}}},
+		{"swprefetch vs codelayout entry",
+			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: opt.KindSwPrefetch}}},
+			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: opt.KindCodeLayout}}}},
 		{"unknown kinds still perturb the hash",
 			Options{Monitoring: true},
 			Options{Monitoring: true, Optimizations: []OptimizationConfig{{Kind: "future"}}}},

@@ -86,7 +86,8 @@ type Options struct {
 	CoallocConfig *coalloc.Config // optional overrides
 
 	// Optimizations selects managed online optimizations by kind
-	// (opt.KindCoalloc, opt.KindCodeLayout), each with an optional
+	// (opt.KindCoalloc, opt.KindCodeLayout, opt.KindSwPrefetch), each
+	// with an optional
 	// per-kind config. The legacy Coalloc switch is shorthand for (and
 	// mutually exclusive with) a coalloc-kind entry; the two spellings
 	// canonicalize — and therefore fingerprint — identically. Every
@@ -141,10 +142,11 @@ type System struct {
 	AOS     *aos.AOS
 
 	// OptManager drives the managed optimizations (non-nil iff any are
-	// configured); CodeLayout is the code-layout optimization when
-	// enabled.
+	// configured); CodeLayout and SwPrefetch are the code-layout and
+	// prefetch-injection optimizations when enabled.
 	OptManager *opt.Manager
 	CodeLayout *opt.CodeLayout
+	SwPrefetch *opt.SwPrefetch
 
 	GenMS   *genms.Collector
 	GenCopy *gencopy.Collector
@@ -291,6 +293,15 @@ func NewSystemOpts(u *classfile.Universe, opts Options) (*System, error) {
 					s.VM.CPU.SetIFetch(s.VM.Hier.IFetch, opts.Cache.LineSize)
 					s.CodeLayout = opt.NewCodeLayout(s.VM, s.Monitor, clcfg)
 					s.OptManager.Register(s.CodeLayout)
+				case opt.KindSwPrefetch:
+					spcfg := opt.DefaultSwPrefetchConfig()
+					if oc.SwPrefetch != nil {
+						spcfg = *oc.SwPrefetch
+					}
+					spcfg = spcfg.WithDefaults()
+					s.VM.Hier.EnableSwPrefetch(s.VM.CPU, spcfg.IssueCycles)
+					s.SwPrefetch = opt.NewSwPrefetch(s.VM, s.Monitor, spcfg)
+					s.OptManager.Register(s.SwPrefetch)
 				}
 			}
 		}

@@ -22,13 +22,15 @@ var ErrBadOptions = errors.New("invalid options")
 // with an optional per-kind tuning config (nil selects the kind's
 // defaults). Exactly the config matching Kind may be set.
 type OptimizationConfig struct {
-	// Kind is the optimization name: opt.KindCoalloc or
-	// opt.KindCodeLayout.
+	// Kind is the optimization name: opt.KindCoalloc,
+	// opt.KindCodeLayout or opt.KindSwPrefetch.
 	Kind string
 	// Coalloc tunes a coalloc-kind entry.
 	Coalloc *coalloc.Config
 	// CodeLayout tunes a codelayout-kind entry.
 	CodeLayout *opt.CodeLayoutConfig
+	// SwPrefetch tunes a swprefetch-kind entry.
+	SwPrefetch *opt.SwPrefetchConfig
 }
 
 // effectiveOptimizations resolves the two configuration spellings into
@@ -130,6 +132,22 @@ func WithCodeLayoutConfig(cfg opt.CodeLayoutConfig) Option {
 	}
 }
 
+// WithSwPrefetch enables the software prefetch-injection optimization.
+// Requires monitoring (validated).
+func WithSwPrefetch() Option {
+	return func(o *Options) {
+		o.Optimizations = append(o.Optimizations, OptimizationConfig{Kind: opt.KindSwPrefetch})
+	}
+}
+
+// WithSwPrefetchConfig enables prefetch injection with explicit tuning.
+func WithSwPrefetchConfig(cfg opt.SwPrefetchConfig) Option {
+	return func(o *Options) {
+		o.Optimizations = append(o.Optimizations,
+			OptimizationConfig{Kind: opt.KindSwPrefetch, SwPrefetch: &cfg})
+	}
+}
+
 // WithAdaptive enables the AOS sampler (plan recording mode).
 func WithAdaptive() Option {
 	return func(o *Options) { o.Adaptive = true }
@@ -212,6 +230,9 @@ func (o Options) Validate() error {
 			if e.CodeLayout != nil {
 				return fmt.Errorf("core: %w: coalloc optimization entry carries a CodeLayout config", ErrBadOptions)
 			}
+			if e.SwPrefetch != nil {
+				return fmt.Errorf("core: %w: coalloc optimization entry carries a SwPrefetch config", ErrBadOptions)
+			}
 			if o.Coalloc {
 				return fmt.Errorf("core: %w: both the legacy Coalloc switch and a coalloc optimization entry are set", ErrBadOptions)
 			}
@@ -225,11 +246,27 @@ func (o Options) Validate() error {
 			if e.Coalloc != nil {
 				return fmt.Errorf("core: %w: codelayout optimization entry carries a Coalloc config", ErrBadOptions)
 			}
+			if e.SwPrefetch != nil {
+				return fmt.Errorf("core: %w: codelayout optimization entry carries a SwPrefetch config", ErrBadOptions)
+			}
 			if !o.Monitoring {
 				return fmt.Errorf("core: %w: the codelayout optimization requires Monitoring (hotness comes from HPM samples)", ErrBadOptions)
 			}
 			if o.Sampling != nil {
 				return fmt.Errorf("core: %w: the codelayout optimization is not supported in sampled mode (relocation changes the fetch cost model mid-run)", ErrBadOptions)
+			}
+		case opt.KindSwPrefetch:
+			if e.Coalloc != nil {
+				return fmt.Errorf("core: %w: swprefetch optimization entry carries a Coalloc config", ErrBadOptions)
+			}
+			if e.CodeLayout != nil {
+				return fmt.Errorf("core: %w: swprefetch optimization entry carries a CodeLayout config", ErrBadOptions)
+			}
+			if !o.Monitoring {
+				return fmt.Errorf("core: %w: the swprefetch optimization requires Monitoring (strides come from sampled miss addresses)", ErrBadOptions)
+			}
+			if o.Sampling != nil {
+				return fmt.Errorf("core: %w: the swprefetch optimization is not supported in sampled mode (injected prefetches change the access cost model mid-run)", ErrBadOptions)
 			}
 		default:
 			return fmt.Errorf("core: %w: unknown optimization kind %q (entry %d)", ErrBadOptions, e.Kind, i)

@@ -93,6 +93,9 @@ func (s *System) components() []component {
 	if s.CodeLayout != nil {
 		list = append(list, component{"opt/codelayout", s.CodeLayout})
 	}
+	if s.SwPrefetch != nil {
+		list = append(list, component{"opt/swprefetch", s.SwPrefetch})
+	}
 	if s.AOS != nil {
 		list = append(list, component{"vm/aos", s.AOS})
 	}

@@ -8,6 +8,7 @@ import (
 
 	"hpmvm/internal/core"
 	"hpmvm/internal/obs"
+	"hpmvm/internal/opt"
 	"hpmvm/internal/vm/classfile"
 )
 
@@ -38,6 +39,14 @@ func snapConfigs() map[string]core.Options {
 			Monitoring: true, SamplingInterval: 1000, Observe: true},
 		"genms-adaptive": {HeapLimit: 8 << 20,
 			Monitoring: true, SamplingInterval: 1000, Adaptive: true, Observe: true},
+		// An eager swprefetch config (no sample floor, 1-poll window) so
+		// the pause lands with live detector streams, an installed site
+		// table and possibly an open decision — the opt/swprefetch and
+		// cache sw-tail snapshot sections must carry all of it.
+		"genms-monitoring-swprefetch": {HeapLimit: 8 << 20,
+			Monitoring: true, SamplingInterval: 500, Observe: true,
+			Optimizations: []core.OptimizationConfig{{Kind: opt.KindSwPrefetch,
+				SwPrefetch: &opt.SwPrefetchConfig{MinSamples: 1, EvalPeriods: 1, MinConfidence: 2}}}},
 	}
 }
 

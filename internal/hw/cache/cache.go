@@ -357,6 +357,16 @@ type Stats struct {
 	Prefetches   uint64 // prefetch requests issued
 	PrefetchHits uint64 // demand accesses that hit a prefetched line
 	Cycles       uint64 // total memory-access cycles charged
+
+	// Software-prefetch attribution (EnableSwPrefetch): issues and first
+	// demand touches of sw-prefetched lines, kept apart from the
+	// hardware-stream counters above so PrefetchAccuracy and the
+	// ablation tables never conflate the two mechanisms. Tagged
+	// omitempty so disabled-path response bodies stay byte-identical to
+	// the pre-swprefetch encoding (the v1 rule: fields are only ever
+	// added, and added as omitempty).
+	SwPrefetches   uint64 `json:"SwPrefetches,omitempty"`
+	SwPrefetchHits uint64 `json:"SwPrefetchHits,omitempty"`
 }
 
 // L1MissRate returns L1 misses per demand access.
@@ -380,10 +390,18 @@ func (s Stats) TLBMissRate() float64 {
 	return ratio(s.TLBMisses, s.Accesses)
 }
 
-// PrefetchAccuracy returns the fraction of issued prefetches that were
-// later demanded within the same measurement window.
+// PrefetchAccuracy returns the fraction of issued hardware-stream
+// prefetches that were later demanded within the same measurement
+// window. Software prefetches are accounted separately
+// (SwPrefetchAccuracy).
 func (s Stats) PrefetchAccuracy() float64 {
 	return ratio(s.PrefetchHits, s.Prefetches)
+}
+
+// SwPrefetchAccuracy returns the fraction of issued software prefetches
+// that were later demanded within the same measurement window.
+func (s Stats) SwPrefetchAccuracy() float64 {
+	return ratio(s.SwPrefetchHits, s.SwPrefetches)
 }
 
 // CyclesPerAccess returns the mean memory-access cost in cycles.
@@ -415,6 +433,33 @@ type IStats struct {
 // optimization's assessment signal.
 func (s IStats) MissRate() float64 { return ratio(s.Misses, s.Fetches) }
 
+// SwPrefetchCPU gives the hierarchy read access to the issuing CPU's
+// architectural state: the software-prefetch model needs the PC of the
+// instruction performing the current demand access (both interpreter
+// loops flush the PC before every Access call-out) to decide whether an
+// injected prefetch site is executing, and the privilege mode to ignore
+// VM-service accesses made with a stale user PC.
+type SwPrefetchCPU interface {
+	SamplePC() uint64
+	UserMode() bool
+}
+
+// swState is the opt-in software-prefetch model (EnableSwPrefetch):
+// the installed site table plus the attribution set mirroring the
+// hardware prefetcher's, kept separate so the two mechanisms stay
+// individually measurable.
+type swState struct {
+	cpu       SwPrefetchCPU
+	sites     map[uint64]int64 // injected site: PC -> prefetch delta in bytes
+	issueCost uint64
+
+	// prefetched/mask mirror Hierarchy.prefetched/pfMask for lines
+	// installed by software prefetches awaiting their first demand
+	// touch. mask is host-side acceleration only, never serialized.
+	prefetched *pfSet
+	mask       uint64
+}
+
 // stream is one tracked prefetch stream.
 type stream struct {
 	lastLine uint64
@@ -436,6 +481,11 @@ type Hierarchy struct {
 	// pre-framework configuration, so golden timing is untouched.
 	l1i    *setAssoc
 	istats IStats
+	// sw, when non-nil, is the opt-in software-prefetch model
+	// (EnableSwPrefetch). Nil for every pre-framework configuration, so
+	// the disabled hot path costs two pointer tests and golden timing is
+	// untouched.
+	sw       *swState
 	streams  []stream
 	stamp    uint64
 	stats    Stats
@@ -532,6 +582,13 @@ func (h *Hierarchy) SetObserver(o *obs.Observer, now func() uint64) {
 	o.RegisterSampled("cache.prefetches", func() uint64 { return h.stats.Prefetches })
 	o.RegisterSampled("cache.prefetch_hits", func() uint64 { return h.stats.PrefetchHits })
 	o.RegisterSampled("cache.cycles", func() uint64 { return h.stats.Cycles })
+	// The software-prefetch rows register only when the model is on:
+	// the golden corpus freezes the disabled configurations' counter
+	// set, and EnableSwPrefetch runs before the observer attaches.
+	if h.sw != nil {
+		o.RegisterSampled("cache.sw_prefetches", func() uint64 { return h.stats.SwPrefetches })
+		o.RegisterSampled("cache.sw_prefetch_hits", func() uint64 { return h.stats.SwPrefetchHits })
+	}
 }
 
 // Config returns the active configuration.
@@ -592,6 +649,102 @@ func (h *Hierarchy) IFetch(addr uint64) uint64 {
 	return cycles
 }
 
+// EnableSwPrefetch attaches the opt-in software-prefetch model: demand
+// accesses executed at an installed site PC (SetSwPrefetchSites) issue
+// a SoftwarePrefetch of the access address plus the site's delta, each
+// non-squashed issue costing issueCost cycles. cpu supplies the current
+// PC and privilege mode. Must be called before the first access and
+// before Snapshot/Restore (the model adds a conditional snapshot tail);
+// calling it twice replaces the model's state.
+func (h *Hierarchy) EnableSwPrefetch(cpu SwPrefetchCPU, issueCost uint64) {
+	h.sw = &swState{cpu: cpu, issueCost: issueCost, prefetched: newPfSet()}
+}
+
+// SwPrefetchEnabled reports whether the software-prefetch model is on.
+func (h *Hierarchy) SwPrefetchEnabled() bool { return h.sw != nil }
+
+// SetSwPrefetchSites replaces the installed software-prefetch site
+// table: a map from instruction PC to the prefetch delta in bytes the
+// injected prefetch adds to that instruction's operand address. The map
+// is copied; passing nil or an empty map uninstalls all sites.
+// Requires EnableSwPrefetch.
+func (h *Hierarchy) SetSwPrefetchSites(sites map[uint64]int64) {
+	m := make(map[uint64]int64, len(sites))
+	for pc, d := range sites {
+		m[pc] = d
+	}
+	h.sw.sites = m
+}
+
+// SwPrefetchSites returns a copy of the installed site table (empty
+// when the model is disabled).
+func (h *Hierarchy) SwPrefetchSites() map[uint64]int64 {
+	if h.sw == nil {
+		return nil
+	}
+	m := make(map[uint64]int64, len(h.sw.sites))
+	for pc, d := range h.sw.sites {
+		m[pc] = d
+	}
+	return m
+}
+
+// SoftwarePrefetch issues one software prefetch of the line holding
+// addr and returns the cycles charged. It is a separate entry point
+// from the hardware stream prefetcher's fills on purpose: software
+// issues are counted (SwPrefetches) and attributed (SwPrefetchHits)
+// apart from the hardware stream's, and an explicit prefetch never
+// trains the stream detector — it is not a demand miss — so the two
+// mechanisms stay individually ablatable. A prefetch whose line is
+// already L1-resident is squashed for free; otherwise it fills L1 (and
+// L2 when absent) and costs the configured issue cycles. Requires
+// EnableSwPrefetch.
+func (h *Hierarchy) SoftwarePrefetch(addr uint64) uint64 {
+	lineAddr := addr >> h.lineBits
+	lineBase := lineAddr << h.lineBits
+	if h.l1.contains(lineBase) {
+		return 0
+	}
+	if h.functional {
+		// Warming lane: install the line, skip statistics and
+		// attribution, exactly like the hardware prefetchLine.
+		h.l2.lookup(lineBase, true, false)
+		h.l1.lookup(lineBase, true, false)
+		return 0
+	}
+	s := h.sw
+	h.stats.SwPrefetches++
+	h.l2.lookup(lineBase, true, false)
+	h.l1.lookup(lineBase, true, false)
+	s.prefetched.Add(lineAddr)
+	s.mask |= 1 << (lineAddr & 63)
+	return s.issueCost
+}
+
+// swSiteIssue executes the software-prefetch instruction injected at
+// the current PC, if any: a recompiled site issues a prefetch of its
+// operand address plus the site delta alongside every demand access it
+// performs. Gated on user mode because VM services (allocation, GC)
+// access memory with a stale user PC that could alias a site. The
+// injected instruction never prefetches across the page its operand
+// lies in — translation past the boundary could fault — so out-of-page
+// targets are dropped at issue.
+func (h *Hierarchy) swSiteIssue(addr uint64) uint64 {
+	s := h.sw
+	if len(s.sites) == 0 || !s.cpu.UserMode() {
+		return 0
+	}
+	delta, ok := s.sites[s.cpu.SamplePC()]
+	if !ok {
+		return 0
+	}
+	target := uint64(int64(addr) + delta)
+	if target>>h.pageBits != addr>>h.pageBits {
+		return 0
+	}
+	return h.SoftwarePrefetch(target)
+}
+
 // ResetStats closes the current measurement window: the counters are
 // zeroed and the prefetched-line attribution set is cleared, so the
 // next window's PrefetchHits only count prefetches issued inside that
@@ -614,6 +767,12 @@ func (h *Hierarchy) ResetStats() {
 		h.prefetched.Clear()
 	}
 	h.pfMask = 0
+	if h.sw != nil {
+		if h.sw.prefetched.Len() != 0 {
+			h.sw.prefetched.Clear()
+		}
+		h.sw.mask = 0
+	}
 }
 
 // Flush invalidates all cache and TLB state.
@@ -629,6 +788,13 @@ func (h *Hierarchy) Flush() {
 	}
 	h.prefetched.Clear()
 	h.pfMask = 0
+	if h.sw != nil {
+		// The attribution set is hardware-adjacent state and clears with
+		// the lines it tracks; the site table is program text (injected
+		// prefetch instructions) and survives a hardware flush.
+		h.sw.prefetched.Clear()
+		h.sw.mask = 0
+	}
 }
 
 // SetFunctional switches the hierarchy into functional fast-forward
@@ -697,9 +863,19 @@ func (h *Hierarchy) Access(addr uint64, size int, write bool) uint64 {
 			h.pfMask = 0
 		}
 	}
+	if h.sw != nil && h.sw.mask&(1<<(lineAddr&63)) != 0 && h.sw.prefetched.Contains(lineAddr) {
+		st.SwPrefetchHits++
+		h.sw.prefetched.Delete(lineAddr)
+		if h.sw.prefetched.Len() == 0 {
+			h.sw.mask = 0
+		}
+	}
 
 	// L1 hit: the fast path out.
 	if h.l1.probe(lineAddr, write) {
+		if h.sw != nil {
+			cycles += h.swSiteIssue(addr)
+		}
 		st.Cycles += cycles
 		return cycles
 	}
@@ -726,6 +902,9 @@ func (h *Hierarchy) Access(addr uint64, size int, write bool) uint64 {
 		h.trainPrefetcher(lineAddr)
 	}
 
+	if h.sw != nil {
+		cycles += h.swSiteIssue(addr)
+	}
 	st.Cycles += cycles
 	return cycles
 }

@@ -107,6 +107,29 @@ func (h *Hierarchy) Snapshot() snap.ComponentState {
 		w.U64(ist.MemFills)
 		w.U64(ist.Cycles)
 	}
+	// Opt-in software-prefetch tail, gated exactly like the I-cache
+	// tail: present when EnableSwPrefetch ran, absent (byte-identical
+	// encoding) for every pre-existing configuration.
+	if h.sw != nil {
+		w.U64(st.SwPrefetches)
+		w.U64(st.SwPrefetchHits)
+		swKeys := h.sw.prefetched.Keys()
+		sort.Slice(swKeys, func(i, j int) bool { return swKeys[i] < swKeys[j] })
+		w.U64(uint64(len(swKeys)))
+		for _, k := range swKeys {
+			w.U64(k)
+		}
+		pcs := make([]uint64, 0, len(h.sw.sites))
+		for pc := range h.sw.sites {
+			pcs = append(pcs, pc)
+		}
+		sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+		w.U64(uint64(len(pcs)))
+		for _, pc := range pcs {
+			w.U64(pc)
+			w.I64(h.sw.sites[pc])
+		}
+	}
 	return snap.ComponentState{Component: snapComponent, Version: snapVersion, Data: w.Bytes()}
 }
 
@@ -169,6 +192,26 @@ func (h *Hierarchy) Restore(st snap.ComponentState) error {
 		istats.MemFills = r.U64()
 		istats.Cycles = r.U64()
 	}
+	var swPref *pfSet
+	var swMask uint64
+	var swSites map[uint64]int64
+	if h.sw != nil {
+		stats.SwPrefetches = r.U64()
+		stats.SwPrefetchHits = r.U64()
+		swPref = newPfSet()
+		nSw := r.U64()
+		for i := uint64(0); i < nSw && r.Err() == nil; i++ {
+			k := r.U64()
+			swPref.Add(k)
+			swMask |= 1 << (k & 63)
+		}
+		nSites := r.U64()
+		swSites = make(map[uint64]int64, nSites)
+		for i := uint64(0); i < nSites && r.Err() == nil; i++ {
+			pc := r.U64()
+			swSites[pc] = r.I64()
+		}
+	}
 	if err := r.Close(); err != nil {
 		return err
 	}
@@ -176,5 +219,10 @@ func (h *Hierarchy) Restore(st snap.ComponentState) error {
 	h.istats = istats
 	h.prefetched = pref
 	h.pfMask = mask
+	if h.sw != nil {
+		h.sw.prefetched = swPref
+		h.sw.mask = swMask
+		h.sw.sites = swSites
+	}
 	return nil
 }

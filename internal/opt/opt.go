@@ -34,6 +34,9 @@ const (
 	// KindCodeLayout is the hot/cold code-layout optimization
 	// (codelayout.go in this package).
 	KindCodeLayout = "codelayout"
+	// KindSwPrefetch is the software prefetch-injection optimization
+	// (swprefetch.go in this package).
+	KindSwPrefetch = "swprefetch"
 )
 
 // Proposal is one candidate decision produced by Analyze. The manager

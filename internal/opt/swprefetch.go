@@ -1,0 +1,768 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"hpmvm/internal/hw/cache"
+	"hpmvm/internal/monitor"
+	"hpmvm/internal/obs"
+	"hpmvm/internal/snap"
+	"hpmvm/internal/vm/runtime"
+)
+
+// SwPrefetch is the third PEBS-driven optimization: software prefetch
+// injection at strided miss sites. The monitor's per-sample sink feeds
+// every sampled miss address into a per-PC stride detector — the same
+// confidence-counted scheme as the hardware stream prefetcher, but
+// keyed by the faulting PC and tolerant of the randomized sampling
+// interval: consecutive samples at one PC are k strides apart for a
+// varying k, so the detector accepts exact multiples of its trained
+// stride and refines toward the common divisor instead of demanding
+// back-to-back lines the way the hardware does. Sites whose stride
+// survives MinConfidence observations get a software prefetch injected
+// via the VM's recompile hook (vm.InstallPrefetchSites): every
+// subsequent execution of that PC issues Hierarchy.SoftwarePrefetch at
+// addr + stride×Distance, a mechanism deliberately distinct from the
+// hardware stream prefetcher so the two are separately attributable.
+//
+// Its niche is complementary to the hardware: the stream prefetcher
+// trains only on L2 misses with ±1-line deltas, so L2-resident strided
+// working sets — which still pay the L2 hit penalty on every L1 miss —
+// are invisible to it. The injected prefetch pulls the next stride's
+// line into L1 ahead of the demand access and squashes itself for free
+// while the line is still L1-resident, so a streaming loop pays the
+// issue cycle roughly once per line.
+//
+// Like the other optimizations the decision is verified online (§5.3):
+// cycles-per-access over the EvalPeriods polls before the injection is
+// the baseline, the same rate after it is the evidence, and an
+// injection that regresses past RegressionFactor× baseline is reverted
+// by reinstalling the previous site set. BadInjectAtCycle deliberately
+// installs an L1-thrashing site set (each prefetch lands on the demand
+// line's own set) to exercise the revert path — Figure 7's
+// bad-decision experiment, transplanted to prefetch injection.
+type SwPrefetch struct {
+	cfg  SwPrefetchConfig
+	vm   *runtime.VM
+	mon  *monitor.Monitor
+	hier *cache.Hierarchy
+
+	// streams is the per-PC stride detector table, bounded at
+	// MaxStreams with least-seen eviction; seen counts raw sink
+	// deliveries (the MinSamples gate).
+	streams map[uint64]*swStream
+	seen    uint64
+
+	// history records the cumulative data-cache counters at each poll;
+	// rate-over-window queries difference its tail.
+	history []dpoint
+
+	// installed is the currently injected site set (PC → prefetch
+	// delta in bytes) with the owning method of each site; a new
+	// injection is proposed only when the confident set changes.
+	installed   map[uint64]int64
+	siteMethods map[uint64]int
+
+	open      *Decision
+	epoch     int
+	decisions uint64
+	reverts   uint64
+	badDone   bool
+
+	log []string
+}
+
+// swStream is one detector entry: the last sampled miss address at a
+// PC, the trained stride, and its confidence.
+type swStream struct {
+	lastAddr uint64
+	stride   int64
+	conf     int
+	seen     uint64
+	methodID int
+}
+
+// dpoint is one poll's cumulative data-cache counters.
+type dpoint struct {
+	accesses, misses, cycles uint64
+}
+
+// minStrideGCD is the smallest common divisor the detector accepts as
+// a refined stride. Misses happen at line granularity, so genuine
+// strided sample deltas share a large divisor; unrelated addresses of
+// a pointer-chasing site share at most their alignment. Half a line
+// (64 bytes under the default 128-byte geometry) separates the two.
+const minStrideGCD = 64
+
+// SwPrefetchConfig parameterizes the prefetch-injection optimization.
+type SwPrefetchConfig struct {
+	// MinSamples is the number of attributed samples required before
+	// the first injection.
+	MinSamples uint64
+	// MinConfidence is how many stride-consistent deltas a PC must
+	// accumulate before it qualifies as an injection site.
+	MinConfidence int
+	// MaxSites caps how many sites one injection installs (0 = default).
+	MaxSites int
+	// Distance is how many strides ahead each prefetch targets.
+	Distance int
+	// MaxStreams bounds the detector table (least-seen eviction).
+	MaxStreams int
+	// IssueCycles is the cost charged per issued (non-squashed)
+	// software prefetch, passed to cache.Hierarchy.EnableSwPrefetch.
+	IssueCycles uint64
+	// EvalPeriods is the assessment window in monitor polls: the
+	// baseline is measured over this many polls before an injection,
+	// the verdict over this many polls after it.
+	EvalPeriods uint64
+	// RegressionFactor flags an injection as bad when post-injection
+	// cycles-per-access exceeds baseline × this factor.
+	RegressionFactor float64
+	// MinMissRate is the L1D miss-rate floor below which no injection
+	// is proposed: prefetching pays issue cycles and pollutes the
+	// cache, so the optimization acts only when monitoring shows data
+	// misses worth that cost. 0 resolves to the default; a negative
+	// value disables the floor.
+	MinMissRate float64
+	// MaxReverts backs the optimization off: after this many reverted
+	// injections it stops proposing. 0 resolves to the default; a
+	// negative value never backs off.
+	MaxReverts int
+	// BadInjectAtCycle, when non-zero, makes the next injection
+	// proposed at or after this cycle a deliberate cache-polluting
+	// site set (every prefetch evicts the demand line's own L1 set) —
+	// the bad-decision hook the revert tests use. Applied once.
+	BadInjectAtCycle uint64
+	// Passive runs the detector without ever proposing an injection
+	// (the experiment baseline).
+	Passive bool
+}
+
+// DefaultSwPrefetchConfig returns the standard parameters.
+func DefaultSwPrefetchConfig() SwPrefetchConfig {
+	return SwPrefetchConfig{
+		MinSamples:       32,
+		MinConfidence:    3,
+		MaxSites:         16,
+		Distance:         2,
+		MaxStreams:       256,
+		IssueCycles:      1,
+		EvalPeriods:      6,
+		RegressionFactor: 1.2,
+		MinMissRate:      0.01,
+		MaxReverts:       2,
+	}
+}
+
+// WithDefaults resolves the zero values that have no meaningful zero
+// semantics to their defaults. MinSamples 0 (inject immediately),
+// BadInjectAtCycle 0 (never) and Passive false are meaningful zeros
+// and stay put. Canonicalization and construction both apply it, so a
+// zero field and its explicit default build — and fingerprint —
+// identically.
+func (c SwPrefetchConfig) WithDefaults() SwPrefetchConfig {
+	d := DefaultSwPrefetchConfig()
+	if c.MinConfidence == 0 {
+		c.MinConfidence = d.MinConfidence
+	}
+	if c.MaxSites == 0 {
+		c.MaxSites = d.MaxSites
+	}
+	if c.Distance == 0 {
+		c.Distance = d.Distance
+	}
+	if c.MaxStreams == 0 {
+		c.MaxStreams = d.MaxStreams
+	}
+	if c.IssueCycles == 0 {
+		c.IssueCycles = d.IssueCycles
+	}
+	if c.EvalPeriods == 0 {
+		c.EvalPeriods = d.EvalPeriods
+	}
+	if c.RegressionFactor == 0 {
+		c.RegressionFactor = d.RegressionFactor
+	}
+	if c.MinMissRate == 0 {
+		c.MinMissRate = d.MinMissRate
+	}
+	if c.MaxReverts == 0 {
+		c.MaxReverts = d.MaxReverts
+	}
+	return c
+}
+
+// swPlan is the Analyze→Apply payload: the site set to install and
+// whether it is the deliberate polluting injection.
+type swPlan struct {
+	sites   map[uint64]int64
+	methods map[uint64]int
+	bad     bool
+}
+
+// swDecState is the per-decision payload consulted by Assess/Revert.
+type swDecState struct {
+	baseline    float64 // cycles/access over EvalPeriods polls pre-apply
+	prev        map[uint64]int64
+	prevMethods map[uint64]int
+	bad         bool
+}
+
+// NewSwPrefetch builds the optimization over a VM whose hierarchy has
+// software prefetching enabled (cache.Hierarchy.EnableSwPrefetch),
+// registers its sample sink with the monitor and its site-invalidation
+// hook with the VM, and returns it ready for Manager.Register.
+func NewSwPrefetch(vm *runtime.VM, mon *monitor.Monitor, cfg SwPrefetchConfig) *SwPrefetch {
+	cfg = cfg.WithDefaults()
+	s := &SwPrefetch{
+		cfg:     cfg,
+		vm:      vm,
+		mon:     mon,
+		hier:    vm.Hier,
+		streams: make(map[uint64]*swStream),
+	}
+	mon.AddSink(func(pc, dataAddr uint64, methodID int, interval uint64) {
+		s.seen++
+		if dataAddr != 0 {
+			s.observe(pc, dataAddr, methodID)
+		}
+	})
+	// A recompiled method's old PCs stay executable (frames on the
+	// stack) but new invocations run the fresh body, so sites keyed on
+	// the old body's PCs decay into dead issue cost. Drop the method's
+	// sites and detector streams and reinstall the remainder.
+	vm.OnRecompile(func(methodID int) { s.dropMethod(methodID) })
+	return s
+}
+
+// observe feeds one sampled miss into the stride detector.
+func (s *SwPrefetch) observe(pc, addr uint64, methodID int) {
+	st, ok := s.streams[pc]
+	if !ok {
+		if len(s.streams) >= s.cfg.MaxStreams {
+			s.evictStream()
+		}
+		s.streams[pc] = &swStream{lastAddr: addr, seen: 1, methodID: methodID}
+		return
+	}
+	delta := int64(addr - st.lastAddr)
+	st.lastAddr = addr
+	st.methodID = methodID
+	st.seen++
+	if delta == 0 {
+		return
+	}
+	switch {
+	case st.stride == 0:
+		st.stride = delta
+		st.conf = 1
+	case sameSign(delta, st.stride) && delta%st.stride == 0:
+		// k strides were skipped between samples (randomized interval).
+		st.conf++
+	case sameSign(delta, st.stride) && st.stride%delta == 0:
+		// The trained stride was itself a multiple of the true stride;
+		// refine down to the finer one.
+		st.stride = delta
+		st.conf++
+	default:
+		if g := int64(gcd64(abs64(delta), abs64(st.stride))); sameSign(delta, st.stride) && g >= minStrideGCD {
+			// Neither delta divides the other but both are multiples of
+			// a large common stride (k1×S vs k2×S): retrain at S.
+			if st.stride < 0 {
+				g = -g
+			}
+			st.stride = g
+			st.conf = 1
+		} else {
+			// Direction flip or irregular delta: retrain from scratch.
+			st.stride = delta
+			st.conf = 0
+		}
+	}
+}
+
+// evictStream removes the least-seen detector entry (ties broken by
+// lowest PC, so eviction is deterministic across map iteration orders).
+func (s *SwPrefetch) evictStream() {
+	var victim uint64
+	first := true
+	for pc, st := range s.streams {
+		if first || st.seen < s.streams[victim].seen ||
+			(st.seen == s.streams[victim].seen && pc < victim) {
+			victim = pc
+			first = false
+		}
+	}
+	if !first {
+		delete(s.streams, victim)
+	}
+}
+
+// dropMethod discards detector and site state tied to a recompiled
+// method and reinstalls the surviving sites.
+func (s *SwPrefetch) dropMethod(methodID int) {
+	for pc, st := range s.streams {
+		if st.methodID == methodID {
+			delete(s.streams, pc)
+		}
+	}
+	changed := false
+	for pc, id := range s.siteMethods {
+		if id == methodID {
+			delete(s.installed, pc)
+			delete(s.siteMethods, pc)
+			changed = true
+		}
+	}
+	if changed {
+		s.vm.InstallPrefetchSites(s.installed)
+	}
+}
+
+// Kind implements Optimization.
+func (s *SwPrefetch) Kind() string { return KindSwPrefetch }
+
+// MonitorWindow implements Optimization: an injection is first
+// assessed EvalPeriods polls after it was applied.
+func (s *SwPrefetch) MonitorWindow() uint64 { return s.cfg.EvalPeriods }
+
+// Analyze implements Optimization. Every poll it records the data-cache
+// counters (the rate history assessment differences); when no decision
+// is open and the confident site set changed, it proposes one
+// injection.
+func (s *SwPrefetch) Analyze(now uint64) []Proposal {
+	cst := s.hier.Stats()
+	s.history = append(s.history, dpoint{cst.Accesses, cst.L1Misses, cst.Cycles})
+
+	if s.cfg.Passive || s.open != nil || s.seen < s.cfg.MinSamples {
+		return nil
+	}
+	if uint64(len(s.history)) < s.cfg.EvalPeriods+1 {
+		return nil // no baseline window yet
+	}
+	if s.cfg.MaxReverts >= 0 && s.reverts >= uint64(s.cfg.MaxReverts) {
+		return nil // backed off: injection has been reverted too often here
+	}
+	if uint64(len(s.history)) < 2*s.cfg.EvalPeriods+1 {
+		return nil
+	}
+	short := s.cpaOver(s.cfg.EvalPeriods)
+	// Warmup guard: while cold-start misses dominate, cycles-per-access
+	// declines steeply and a baseline captured now would overstate
+	// steady state, masking a bad injection at assessment. Propose only
+	// once the recent window is within 20% of the longer one. The
+	// bad-decision injection waits it out too — its scenario is a bad
+	// call in steady state, judged against an honest baseline.
+	if long := s.cpaOver(2 * s.cfg.EvalPeriods); short < long*0.8 {
+		return nil
+	}
+	if s.cfg.BadInjectAtCycle != 0 && now >= s.cfg.BadInjectAtCycle && !s.badDone {
+		if plan := s.pollutingPlan(); plan != nil {
+			return []Proposal{{
+				Target: s.epoch,
+				Label:  fmt.Sprintf("polluting injection at %d sites", len(plan.sites)),
+				Code:   obs.DecisionIntervene,
+				State:  plan,
+			}}
+		}
+		return nil
+	}
+	if rate := s.missRateOver(s.cfg.EvalPeriods); rate < s.cfg.MinMissRate {
+		return nil // no data-cache pressure: issuing would only cost
+	}
+	plan := s.confidentPlan()
+	if plan == nil || sameSites(plan.sites, s.installed) {
+		return nil
+	}
+	return []Proposal{{
+		Target: s.epoch,
+		Label:  fmt.Sprintf("prefetch injection at %d strided sites", len(plan.sites)),
+		Code:   obs.DecisionActivate,
+		State:  plan,
+	}}
+}
+
+// confidentPlan builds the site set from detector streams at or above
+// MinConfidence, hottest-first, capped at MaxSites. Each site's delta
+// is stride × Distance; sites whose delta can never survive the
+// page-boundary clamp are skipped.
+func (s *SwPrefetch) confidentPlan() *swPlan {
+	pageSize := int64(s.hier.Config().PageSize)
+	pcs := make([]uint64, 0, len(s.streams))
+	for pc, st := range s.streams {
+		if st.conf >= s.cfg.MinConfidence && st.stride != 0 {
+			if d := st.stride * int64(s.cfg.Distance); abs64(d) < uint64(pageSize) {
+				pcs = append(pcs, pc)
+			}
+		}
+	}
+	if len(pcs) == 0 {
+		return nil
+	}
+	sort.Slice(pcs, func(i, j int) bool {
+		si, sj := s.streams[pcs[i]], s.streams[pcs[j]]
+		if si.seen != sj.seen {
+			return si.seen > sj.seen
+		}
+		return pcs[i] < pcs[j]
+	})
+	if len(pcs) > s.cfg.MaxSites {
+		pcs = pcs[:s.cfg.MaxSites]
+	}
+	plan := &swPlan{sites: make(map[uint64]int64, len(pcs)), methods: make(map[uint64]int, len(pcs))}
+	for _, pc := range pcs {
+		st := s.streams[pc]
+		plan.sites[pc] = st.stride * int64(s.cfg.Distance)
+		plan.methods[pc] = st.methodID
+	}
+	return plan
+}
+
+// pollutingPlan targets the hottest sampled PCs with a delta of
+// -L1Size: under a direct-mapped L1 the prefetched line aliases the
+// demand line's own set, so every access evicts the line it just
+// fetched — pure issue cost plus guaranteed pollution.
+func (s *SwPrefetch) pollutingPlan() *swPlan {
+	pcs := make([]uint64, 0, len(s.streams))
+	for pc := range s.streams {
+		pcs = append(pcs, pc)
+	}
+	if len(pcs) == 0 {
+		return nil
+	}
+	sort.Slice(pcs, func(i, j int) bool {
+		si, sj := s.streams[pcs[i]], s.streams[pcs[j]]
+		if si.seen != sj.seen {
+			return si.seen > sj.seen
+		}
+		return pcs[i] < pcs[j]
+	})
+	if len(pcs) > s.cfg.MaxSites {
+		pcs = pcs[:s.cfg.MaxSites]
+	}
+	delta := -int64(s.hier.Config().L1Size)
+	plan := &swPlan{sites: make(map[uint64]int64, len(pcs)), methods: make(map[uint64]int, len(pcs)), bad: true}
+	for _, pc := range pcs {
+		plan.sites[pc] = delta
+		plan.methods[pc] = s.streams[pc].methodID
+	}
+	return plan
+}
+
+// Apply implements Optimization: install the plan's site set through
+// the VM's recompile hook and open the decision for assessment.
+func (s *SwPrefetch) Apply(now uint64, p Proposal) {
+	plan := p.State.(*swPlan)
+	baseline := s.cpaOver(s.cfg.EvalPeriods)
+	s.open = &Decision{
+		Target:      p.Target,
+		Label:       p.Label,
+		AppliedAt:   now,
+		AppliedPoll: s.mon.Stats().Polls,
+		State: &swDecState{
+			baseline:    baseline,
+			prev:        s.installed,
+			prevMethods: s.siteMethods,
+			bad:         plan.bad,
+		},
+	}
+	s.install(plan.sites, plan.methods)
+	s.epoch++
+	s.decisions++
+	if plan.bad {
+		s.badDone = true
+	}
+	s.logf(now, "injection #%d: %s (baseline %.4f cycles/access)", p.Target, p.Label, baseline)
+}
+
+// install points the VM (and through it the hierarchy) at a new site
+// set. Maps are copied so later bookkeeping never mutates a plan or a
+// decision's revert payload.
+func (s *SwPrefetch) install(sites map[uint64]int64, methods map[uint64]int) {
+	ns := make(map[uint64]int64, len(sites))
+	for pc, d := range sites {
+		ns[pc] = d
+	}
+	nm := make(map[uint64]int, len(methods))
+	for pc, id := range methods {
+		nm[pc] = id
+	}
+	s.installed = ns
+	s.siteMethods = nm
+	s.vm.InstallPrefetchSites(ns)
+}
+
+// OpenDecisions implements Optimization: at most one injection is
+// monitored at a time.
+func (s *SwPrefetch) OpenDecisions() []*Decision {
+	if s.open == nil {
+		return nil
+	}
+	return []*Decision{s.open}
+}
+
+// Assess implements Optimization: compare cycles-per-access over the
+// assessment window against the pre-injection baseline. A kept
+// decision closes — injections are judged once, like the paper's
+// Figure-7 window.
+func (s *SwPrefetch) Assess(now uint64, d *Decision) Assessment {
+	st := d.State.(*swDecState)
+	cur := s.cpaOver(s.cfg.EvalPeriods)
+	if st.baseline > 0 && cur > st.baseline*s.cfg.RegressionFactor {
+		return Assessment{Verdict: VerdictBad, Reason: obs.DecisionRevertRate, A: cur, B: st.baseline}
+	}
+	s.open = nil
+	s.logf(now, "injection #%d kept (%.4f cycles/access, baseline %.4f)", d.Target, cur, st.baseline)
+	return Assessment{Verdict: VerdictKeep, A: cur, B: st.baseline}
+}
+
+// Revert implements Optimization: reinstall the site set that was live
+// before the bad injection.
+func (s *SwPrefetch) Revert(now uint64, d *Decision, a Assessment) {
+	st := d.State.(*swDecState)
+	s.install(st.prev, st.prevMethods)
+	s.reverts++
+	s.open = nil
+	s.logf(now, "injection #%d reverted (%.4f vs baseline %.4f cycles/access): restored %d sites",
+		d.Target, a.A, a.B, len(st.prev))
+}
+
+// Stats implements Optimization.
+func (s *SwPrefetch) Stats() Stats {
+	return Stats{Decisions: s.decisions, Reverts: s.reverts}
+}
+
+// Log returns the decision log ("[cycle N] ..." lines).
+func (s *SwPrefetch) Log() []string { return s.log }
+
+// Epoch returns how many injections have been applied.
+func (s *SwPrefetch) Epoch() int { return s.epoch }
+
+// Sites returns the currently installed site set (PC → delta), for
+// tests and reporting.
+func (s *SwPrefetch) Sites() map[uint64]int64 {
+	out := make(map[uint64]int64, len(s.installed))
+	for pc, d := range s.installed {
+		out[pc] = d
+	}
+	return out
+}
+
+func (s *SwPrefetch) logf(now uint64, format string, args ...any) {
+	s.log = append(s.log, fmt.Sprintf("[cycle %d] %s", now, fmt.Sprintf(format, args...)))
+}
+
+// cpaOver returns cycles-per-access over the last k polls of history
+// (0 when the window saw no accesses).
+func (s *SwPrefetch) cpaOver(k uint64) float64 {
+	n := uint64(len(s.history))
+	if n < k+1 || k == 0 {
+		return 0
+	}
+	a, b := s.history[n-1-k], s.history[n-1]
+	dA := b.accesses - a.accesses
+	if dA == 0 {
+		return 0
+	}
+	return float64(b.cycles-a.cycles) / float64(dA)
+}
+
+// missRateOver returns the L1D miss rate over the last k polls.
+func (s *SwPrefetch) missRateOver(k uint64) float64 {
+	n := uint64(len(s.history))
+	if n < k+1 || k == 0 {
+		return 0
+	}
+	a, b := s.history[n-1-k], s.history[n-1]
+	dA := b.accesses - a.accesses
+	if dA == 0 {
+		return 0
+	}
+	return float64(b.misses-a.misses) / float64(dA)
+}
+
+// sameSites reports whether two site maps are identical.
+func sameSites(a, b map[uint64]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for pc, d := range a {
+		if bd, ok := b[pc]; !ok || bd != d {
+			return false
+		}
+	}
+	return true
+}
+
+func sameSign(a, b int64) bool {
+	return (a > 0) == (b > 0) && a != 0 && b != 0
+}
+
+func abs64(v int64) uint64 {
+	if v < 0 {
+		return uint64(-v)
+	}
+	return uint64(v)
+}
+
+func gcd64(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Snapshot/Restore implement snap.Checkpointable. Everything the
+// decision loop consults is serialized: the detector table, the
+// per-poll data-cache history, the site bookkeeping and the open
+// decision. The hierarchy's live site table is cache state and travels
+// in the hw/cache component, which restores before this one — so
+// Restore only rebuilds the optimization's own view.
+
+const (
+	swPrefetchComponent = "opt/swprefetch"
+	swPrefetchVersion   = 1
+)
+
+func encodeSites(w *snap.Writer, sites map[uint64]int64, methods map[uint64]int) {
+	pcs := make([]uint64, 0, len(sites))
+	for pc := range sites {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	w.U64(uint64(len(pcs)))
+	for _, pc := range pcs {
+		w.U64(pc)
+		w.I64(sites[pc])
+		w.I64(int64(methods[pc]))
+	}
+}
+
+func decodeSites(r *snap.Reader) (map[uint64]int64, map[uint64]int) {
+	n := r.U64()
+	sites := make(map[uint64]int64, n)
+	methods := make(map[uint64]int, n)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		pc := r.U64()
+		sites[pc] = r.I64()
+		methods[pc] = int(r.I64())
+	}
+	return sites, methods
+}
+
+// Snapshot serializes the optimization state.
+func (s *SwPrefetch) Snapshot() snap.ComponentState {
+	var w snap.Writer
+	w.U64(s.seen)
+	pcs := make([]uint64, 0, len(s.streams))
+	for pc := range s.streams {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	w.U64(uint64(len(pcs)))
+	for _, pc := range pcs {
+		st := s.streams[pc]
+		w.U64(pc)
+		w.U64(st.lastAddr)
+		w.I64(st.stride)
+		w.I64(int64(st.conf))
+		w.U64(st.seen)
+		w.I64(int64(st.methodID))
+	}
+	w.U64(uint64(len(s.history)))
+	for _, p := range s.history {
+		w.U64(p.accesses)
+		w.U64(p.misses)
+		w.U64(p.cycles)
+	}
+	encodeSites(&w, s.installed, s.siteMethods)
+	w.U64(uint64(s.epoch))
+	w.U64(s.decisions)
+	w.U64(s.reverts)
+	w.Bool(s.badDone)
+	w.Bool(s.open != nil)
+	if s.open != nil {
+		st := s.open.State.(*swDecState)
+		w.I64(int64(s.open.Target))
+		w.String(s.open.Label)
+		w.U64(s.open.AppliedAt)
+		w.U64(s.open.AppliedPoll)
+		w.F64(st.baseline)
+		w.Bool(st.bad)
+		encodeSites(&w, st.prev, st.prevMethods)
+	}
+	w.U64(uint64(len(s.log)))
+	for _, l := range s.log {
+		w.String(l)
+	}
+	return snap.ComponentState{Component: swPrefetchComponent, Version: swPrefetchVersion, Data: w.Bytes()}
+}
+
+// Restore overwrites the optimization state.
+func (s *SwPrefetch) Restore(cs snap.ComponentState) error {
+	if err := snap.Check(cs, swPrefetchComponent, swPrefetchVersion); err != nil {
+		return err
+	}
+	r := snap.NewReader(cs.Data)
+	seen := r.U64()
+	nStreams := r.U64()
+	streams := make(map[uint64]*swStream, nStreams)
+	for i := uint64(0); i < nStreams && r.Err() == nil; i++ {
+		pc := r.U64()
+		st := &swStream{}
+		st.lastAddr = r.U64()
+		st.stride = r.I64()
+		st.conf = int(r.I64())
+		st.seen = r.U64()
+		st.methodID = int(r.I64())
+		streams[pc] = st
+	}
+	nHist := r.U64()
+	history := make([]dpoint, 0, nHist)
+	for i := uint64(0); i < nHist && r.Err() == nil; i++ {
+		var p dpoint
+		p.accesses = r.U64()
+		p.misses = r.U64()
+		p.cycles = r.U64()
+		history = append(history, p)
+	}
+	installed, siteMethods := decodeSites(r)
+	epoch := int(r.U64())
+	decisions := r.U64()
+	reverts := r.U64()
+	badDone := r.Bool()
+	var open *Decision
+	if r.Bool() {
+		open = &Decision{}
+		open.Target = int(r.I64())
+		open.Label = r.String()
+		open.AppliedAt = r.U64()
+		open.AppliedPoll = r.U64()
+		ds := &swDecState{}
+		ds.baseline = r.F64()
+		ds.bad = r.Bool()
+		ds.prev, ds.prevMethods = decodeSites(r)
+		open.State = ds
+	}
+	nLog := r.U64()
+	log := make([]string, 0, nLog)
+	for i := uint64(0); i < nLog && r.Err() == nil; i++ {
+		log = append(log, r.String())
+	}
+	if err := r.Close(); err != nil {
+		return err
+	}
+	s.seen = seen
+	s.streams = streams
+	s.history = history
+	s.installed = installed
+	s.siteMethods = siteMethods
+	s.epoch = epoch
+	s.decisions = decisions
+	s.reverts = reverts
+	s.badDone = badDone
+	s.open = open
+	s.log = log
+	return nil
+}

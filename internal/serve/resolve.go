@@ -99,6 +99,7 @@ func (r *Resolver) resolve(req api.Request) (resolved, error) {
 		Interval:    req.Interval,
 		Coalloc:     req.Coalloc,
 		CodeLayout:  req.CodeLayout,
+		SwPrefetch:  req.SwPrefetch,
 		Adaptive:    req.Adaptive,
 		Seed:        req.Seed,
 		MaxCycles:   req.MaxCycles,

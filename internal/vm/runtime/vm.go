@@ -147,6 +147,18 @@ func (vm *VM) OnRecompile(fn func(methodID int)) {
 	vm.onRecompile = append(vm.onRecompile, fn)
 }
 
+// InstallPrefetchSites models recompiling the methods owning the given
+// PCs with software prefetch instructions injected: every subsequent
+// execution of a site PC issues a prefetch of its access address plus
+// the site's delta. Method bodies do not move (the "recompile" only
+// adds prefetches), so nothing is appended to the recompile log; the
+// live site table is hardware state carried by the cache snapshot, and
+// the optimization that installed it re-derives its own view on
+// restore. A nil or empty map uninstalls all sites.
+func (vm *VM) InstallPrefetchSites(sites map[uint64]int64) {
+	vm.Hier.SetSwPrefetchSites(sites)
+}
+
 // SetOptInfo records the optimizing-compiler result for a method.
 func (vm *VM) SetOptInfo(methodID int, info any) { vm.optInfo[methodID] = info }
 

@@ -16,7 +16,7 @@
 //   - the deprecated unversioned paths answer byte-identically with a
 //     Deprecation header and a successor-version link
 //   - /v1/stream reassembles byte-identically to /v1/run
-//   - managed-optimization runs (coalloc, codelayout) surface per-kind
+//   - managed-optimization runs (coalloc, codelayout, swprefetch) surface per-kind
 //     decision/revert counters in /v1/statsz
 //
 // Usage: servesmoke -url http://127.0.0.1:18080
@@ -170,20 +170,23 @@ func smoke(url string) error {
 		return fmt.Errorf("streamed replay disposition %q, want hit", stream.Cache)
 	}
 
-	// Managed optimizations: a coalloc run and a codelayout run must
-	// each surface a per-kind counter row in statsz.
+	// Managed optimizations: a coalloc, a codelayout and a swprefetch
+	// run must each surface a per-kind counter row in statsz.
 	if err := checkOptCounters(ctx, c); err != nil {
 		return err
 	}
 	return nil
 }
 
-// checkOptCounters runs db once with co-allocation and once with the
-// code-layout optimization, then asserts /v1/statsz carries one counter
-// row per kind: coalloc with decisions (db's hot pairs trigger it at
-// defaults) and codelayout present (at the default 8 KB instruction
-// cache the optimizer correctly declines to relocate, so its row may
-// report zero decisions — the row itself proves the framework ran). On
+// checkOptCounters runs db once with co-allocation, once with the
+// code-layout optimization and once with software-prefetch injection,
+// then asserts /v1/statsz carries one counter row per kind: coalloc
+// with decisions (db's hot pairs trigger it at defaults), codelayout
+// present (at the default 8 KB instruction cache the optimizer
+// correctly declines to relocate, so its row may report zero decisions
+// — the row itself proves the framework ran), and swprefetch present
+// (at library defaults the conservative warmup guards may decline to
+// inject within db's run; the row again proves the framework ran). On
 // a fleet the rows are summed by the coordinator.
 func checkOptCounters(ctx context.Context, c *client.Client) error {
 	if _, err := c.Run(ctx, api.Request{Workload: "db", Seed: 1, Coalloc: true}); err != nil {
@@ -191,6 +194,9 @@ func checkOptCounters(ctx context.Context, c *client.Client) error {
 	}
 	if _, err := c.Run(ctx, api.Request{Workload: "db", Seed: 1, CodeLayout: true, Event: "l1i"}); err != nil {
 		return fmt.Errorf("codelayout run: %w", err)
+	}
+	if _, err := c.Run(ctx, api.Request{Workload: "db", Seed: 1, SwPrefetch: true}); err != nil {
+		return fmt.Errorf("swprefetch run: %w", err)
 	}
 	rows, err := optRows(ctx, c)
 	if err != nil {
@@ -209,6 +215,9 @@ func checkOptCounters(ctx context.Context, c *client.Client) error {
 	}
 	if _, ok := byKind[opt.KindCodeLayout]; !ok {
 		return errors.New("statsz optimizations lack the codelayout row after a codelayout run")
+	}
+	if _, ok := byKind[opt.KindSwPrefetch]; !ok {
+		return errors.New("statsz optimizations lack the swprefetch row after a swprefetch run")
 	}
 	return nil
 }
